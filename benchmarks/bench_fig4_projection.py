@@ -1,0 +1,60 @@
+"""Fig. 4: pressure iteration count and residual history with and without
+projection onto previous solutions.
+
+Paper shapes to reproduce (on the buoyant-convection workload; DESIGN.md
+documents the GFFC -> Rayleigh-Benard substitution):
+
+* iteration count reduced by a factor of 2.5-5 once the projection window
+  (L = 26) fills;
+* the residual prior to iteration drops by >~ 2.5 orders of magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro.workloads.convection_cell import ConvectionCellCase
+
+N_STEPS = 40
+
+
+@pytest.fixture(scope="module")
+def runs():
+    kw = dict(n_elements=4, order=7, dt=0.02, pressure_tol=1e-6)
+    with_proj = ConvectionCellCase(projection_window=26, **kw).run(N_STEPS)
+    without = ConvectionCellCase(projection_window=0, **kw).run(N_STEPS)
+    return with_proj, without
+
+
+def test_fig4(benchmark, runs):
+    with_proj, without = runs
+    # Benchmark one projected coupled step on a fresh case.
+    case = ConvectionCellCase(n_elements=4, order=7, dt=0.02)
+    case.run(6)  # fill some history first
+    benchmark.pedantic(case.coupling.step, rounds=3, iterations=1)
+
+    rows = [
+        [s + 1,
+         with_proj.pressure_iterations[s], with_proj.initial_residuals[s],
+         without.pressure_iterations[s], without.initial_residuals[s]]
+        for s in range(N_STEPS)
+    ]
+    text = fmt_table(
+        ["step", "iter (L=26)", "resid (L=26)", "iter (L=0)", "resid (L=0)"],
+        rows,
+        title="Fig. 4: pressure solves with/without projection "
+        "(buoyant convection)",
+    )
+    ratio_it = without.mean_iterations_tail / max(with_proj.mean_iterations_tail, 1e-9)
+    ratio_res = without.mean_residual_tail / max(with_proj.mean_residual_tail, 1e-300)
+    text += (f"\ntail iteration ratio (L=0 / L=26): {ratio_it:.2f}"
+             f"\ntail initial-residual ratio: {ratio_res:.2e}\n")
+    write_result("fig4_projection", text)
+
+    # Paper shapes: 2.5-5x iteration cut, >= 2 orders residual cut.
+    assert ratio_it > 2.0
+    assert ratio_res > 1e2
+    # Projected iteration counts decay over the transient.
+    head = np.mean(with_proj.pressure_iterations[:5])
+    tail = with_proj.mean_iterations_tail
+    assert tail < head

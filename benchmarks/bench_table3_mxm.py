@@ -1,0 +1,71 @@
+"""Table 3: mxm kernel MFLOPS across the paper's (n1, n2, n3) shapes.
+
+Paper shape to reproduce: MFLOPS varies strongly with calling
+configuration, and *no single kernel is superior across all cases*
+(Section 6).  The numpy analogues of the lkm/ghm/csm/f2/f3 kernel family
+are BLAS dispatch, raw dgemm, einsum, accumulated outer products, and
+broadcast-reduce (see repro.perf.mxm).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro.perf.mxm import (
+    KERNELS,
+    TABLE3_SHAPES,
+    best_kernel_per_shape,
+    measure_mflops,
+    sweep_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return sweep_table3(min_time=0.08)
+
+
+def test_generate_table3(benchmark, table):
+    # Time the canonical SEM kernel shape while we are here; the table
+    # itself comes from the sweep fixture.
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((16, 14)), rng.standard_normal((14, 16))
+    benchmark(KERNELS["matmul"], a, b)
+    names = list(KERNELS)
+    rows = []
+    for (n1, n2, n3), row in table.items():
+        rows.append([n1, n2, n3] + [row[k] for k in names])
+    text = fmt_table(
+        ["n1", "n2", "n3"] + names,
+        rows,
+        title="Table 3: MFLOPS for (n1 x n2) x (n2 x n3) matrix-matrix kernels",
+    )
+    best = best_kernel_per_shape(table)
+    text += "\nbest kernel per shape:\n"
+    for shape, k in best.items():
+        text += f"  {shape}: {k}\n"
+    winners = set(best.values())
+    text += f"\ndistinct winners across shapes: {len(winners)} ({sorted(winners)})\n"
+    write_result("table3_mxm", text)
+
+    # Paper shape: performance is strongly shape dependent ...
+    all_vals = [v for row in table.values() for v in row.values()]
+    assert max(all_vals) > 3 * min(all_vals)
+    # ... and no single kernel wins everywhere (allowing 2 winners minimum
+    # since BLAS can dominate very large shapes on modern hardware).
+    assert len(winners) >= 2
+
+
+@pytest.mark.parametrize("shape", [(16, 16, 16), (256, 16, 16), (2, 14, 2)])
+def test_bench_matmul_kernel(benchmark, shape):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(shape[:2])
+    b = rng.standard_normal(shape[1:])
+    benchmark(KERNELS["matmul"], a, b)
+
+
+def test_bench_outer_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((16, 14))
+    b = rng.standard_normal((14, 16))
+    benchmark(KERNELS["outer"], a, b)

@@ -1,0 +1,56 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper at
+laptop scale: it builds the workload in a session fixture, asserts the
+paper's qualitative *shape* (who wins, by roughly what factor, where
+crossovers fall), times a representative kernel through pytest-benchmark,
+and writes the paper-formatted table to ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-shaped table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} (written to {path}) ===")
+    print(text)
+
+
+def fmt_table(headers, rows, title="") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cols = [str(h) for h in headers]
+    srows = [[("%s" % c if isinstance(c, str) else _fmt_num(c)) for c in r] for r in rows]
+    widths = [max(len(cols[i]), *(len(r[i]) for r in srows)) if srows else len(cols[i])
+              for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_num(x) -> str:
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        a = abs(x)
+        if a >= 1e4 or a < 1e-3:
+            return f"{x:.3e}"
+        if a >= 100:
+            return f"{x:.1f}"
+        return f"{x:.4g}"
+    return str(x)

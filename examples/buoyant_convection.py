@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Rayleigh-Benard convection with coupled heat transport and the
+projection-accelerated pressure solver (the Fig. 1/Fig. 4 physics).
+
+A box heated from below develops convection rolls; the example shows
+
+* velocity-temperature (Boussinesq) coupling via the public API,
+* the successive-RHS projection cutting pressure iterations as the
+  simulation settles (the Fig. 4 effect),
+* Nusselt-number and kinetic-energy diagnostics.
+
+Run:  python examples/buoyant_convection.py
+"""
+
+import numpy as np
+
+from repro import (
+    BoussinesqCoupling,
+    NavierStokesSolver,
+    ScalarBC,
+    ScalarTransport,
+    VelocityBC,
+    box_mesh_2d,
+)
+
+RAYLEIGH = 2e5
+PRANDTL = 1.0
+N_STEPS = 60
+
+mesh = box_mesh_2d(8, 4, 7, x1=2.0, y1=1.0)
+re = float(np.sqrt(RAYLEIGH / PRANDTL))
+pe = float(np.sqrt(RAYLEIGH * PRANDTL))
+
+flow = NavierStokesSolver(
+    mesh, re=re, dt=0.02,
+    bc=VelocityBC.no_slip_all(mesh),
+    convection="ext",
+    filter_alpha=0.05,
+    projection_window=26,
+)
+flow.set_initial_condition([lambda x, y: 0 * x, lambda x, y: 0 * x])
+
+transport = ScalarTransport(
+    flow, peclet=pe, bc=ScalarBC(mesh, {"ymin": 1.0, "ymax": 0.0})
+)
+transport.set_initial_condition(
+    lambda x, y: (1 - y) + 0.03 * np.sin(2 * np.pi * x) * np.sin(np.pi * y)
+)
+coupling = BoussinesqCoupling(flow, transport, buoyancy=1.0, g_dir=(0.0, 1.0))
+
+
+def nusselt():
+    g = flow.conv.grad_phys(transport.T)
+    return float(-np.mean(g[1][mesh.boundary["ymin"]]))
+
+
+print(f"Rayleigh-Benard cell: Ra = {RAYLEIGH:.0e}, Pr = {PRANDTL}, "
+      f"K = {mesh.K}, N = {mesh.order}")
+print(f"{'step':>5} {'t':>6} {'KE':>12} {'Nu':>8} {'p-iters':>8} {'p-resid0':>10}")
+for s in range(N_STEPS):
+    stats, _ = coupling.step()
+    if (s + 1) % 5 == 0:
+        print(f"{stats.step:5d} {stats.time:6.2f} {flow.kinetic_energy():12.5e} "
+              f"{nusselt():8.3f} {stats.pressure_iterations:8d} "
+              f"{stats.pressure_initial_residual:10.2e}")
+
+iters = [st.pressure_iterations for st in flow.stats]
+print(f"\npressure iterations: first-10 mean {np.mean(iters[:10]):.1f} "
+      f"-> last-10 mean {np.mean(iters[-10:]):.1f} "
+      f"(projection window L = {flow.projector.max_vectors})")
+print("convection is active" if flow.kinetic_energy() > 1e-6 else "flow still conductive")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Shear-layer roll-up with filter-based stabilization (the Fig. 3 physics).
+
+Runs the paper's doubly periodic double shear layer at high Reynolds
+number, comparing an unfiltered and a filtered (alpha = 0.3) simulation.
+Without the Fischer-Mullen filter, the under-resolved Re = 1e5 problem
+accumulates grid-scale oscillations and eventually blows up; with the
+filter it rolls up cleanly into the two expected vortex cores.
+
+Prints per-interval vorticity extrema and a final ASCII vorticity contour
+sketch.  Scale is reduced from the paper's 256^2 points (set
+N_ELEMENTS/ORDER higher to approach it).
+
+Run:  python examples/shear_layer_rollup.py  [--quick]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.workloads.shear_layer import ShearLayerCase
+
+QUICK = "--quick" in sys.argv
+N_ELEMENTS = 6 if QUICK else 8
+ORDER = 8
+T_END = 0.4 if QUICK else 1.0
+
+
+def run_case(alpha: float):
+    print(f"\n--- filter alpha = {alpha} "
+          f"(n = {N_ELEMENTS * ORDER} points/direction, rho = 30, Re = 1e5) ---")
+    case = ShearLayerCase(
+        n_elements=N_ELEMENTS, order=ORDER, rho=30.0, re=1e5,
+        filter_alpha=alpha, dt=0.002,
+    )
+    sol = case.solver
+    n_chunks = max(1, int(T_END / 0.1))
+    for _ in range(n_chunks):
+        steps = int(round(0.1 / sol.dt))
+        try:
+            sol.advance(steps)
+        except Exception as exc:  # blow-up surfaces as a failed solve
+            print(f"  t={sol.t:5.2f}  BLEW UP ({type(exc).__name__})")
+            return case, False
+        w = sol.vorticity()
+        umax = max(float(np.max(np.abs(c))) for c in sol.u)
+        print(f"  t={sol.t:5.2f}  vorticity in [{w.min():8.1f}, {w.max():8.1f}]"
+              f"  max|u| = {umax:7.3f}")
+        if not np.isfinite(umax) or umax > 50:
+            print(f"  t={sol.t:5.2f}  BLEW UP (velocity divergence)")
+            return case, False
+    return case, True
+
+
+def ascii_vorticity(case, width=64):
+    """Coarse ASCII contour sketch of the final vorticity field."""
+    sol = case.solver
+    w = sol.vorticity()
+    nl = case.mesh.element_lattice[0]
+    m = case.mesh.order + 1
+    img = np.zeros((nl * m, nl * m))
+    for k in range(case.mesh.K):
+        ex, ey = k % nl, k // nl
+        img[ey * m:(ey + 1) * m, ex * m:(ex + 1) * m] = w[k]
+    # downsample
+    step = max(1, img.shape[0] // (width // 2))
+    img = img[::step, ::step][:, :width]
+    scale = np.max(np.abs(img)) or 1.0
+    chars = " .:-=+*#%@"
+    print("\nfinal |vorticity| sketch (dark = strong):")
+    for row in img[::-1]:
+        line = "".join(chars[min(int(abs(v) / scale * (len(chars) - 1)), len(chars) - 1)]
+                       for v in row)
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    case_f, ok_f = run_case(0.3)
+    if ok_f:
+        ascii_vorticity(case_f)
+    case_u, ok_u = run_case(0.0)
+    print("\nsummary: filtered run stable =", ok_f, "| unfiltered run stable =", ok_u)
+    if ok_f and not ok_u:
+        print("=> reproduces Fig. 3: filtering rescues the under-resolved run")

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Allows ``pip install -e .`` to fall back to ``setup.py develop`` on
+environments that lack the ``wheel`` package (PEP-517 editable installs
+require ``bdist_wheel``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of Tufo & Fischer, "Terascale Spectral Element
+Algorithms and Implementations" (SC 1999).
+
+A spectral element incompressible Navier-Stokes library with the paper's
+full algorithmic stack:
+
+* tensor-product GLL discretization with matrix-free operators (Eq. 2-4),
+* PN-PN-2 staggered pressure with the consistent Poisson operator E,
+* BDF2/BDF3 operator splitting with OIFS convection sub-integration,
+* Fischer-Mullen filter stabilization,
+* Jacobi-PCG Helmholtz solves and Schwarz-preconditioned pressure solves
+  (FDM tensor local solves + vertex-mesh coarse grid),
+* successive-RHS projection, the XXT coarse-grid solver,
+* a simulated message-passing substrate (gather-scatter, RSB partitioning,
+  alpha-beta-gamma machine models) reproducing the paper's scaling studies.
+
+Quickstart::
+
+    import numpy as np
+    from repro import box_mesh_2d, NavierStokesSolver, VelocityBC
+
+    mesh = box_mesh_2d(4, 4, 7, x1=2*np.pi, y1=2*np.pi, periodic=(True, True))
+    sol = NavierStokesSolver(mesh, re=100.0, dt=0.02, bc=VelocityBC.none(mesh))
+    sol.set_initial_condition([lambda x, y: -np.cos(x)*np.sin(y),
+                               lambda x, y:  np.sin(x)*np.cos(y)])
+    sol.advance(50)
+    print(sol.kinetic_energy(), sol.stats[-1].pressure_iterations)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core.assembly import Assembler, DirichletMask
+from .core.element import GeomFactors, geometric_factors
+from .core.evaluation import FieldEvaluator, transfer_field
+from .core.io import load_checkpoint, save_checkpoint, save_vtk
+from .core.filters import FieldFilter
+from .core.mesh import Mesh, box_mesh_2d, box_mesh_3d, extrude_mesh, map_mesh, refine_mesh
+from .core.operators import (
+    HelmholtzOperator,
+    LaplaceOperator,
+    MassOperator,
+    SEMSystem,
+    build_helmholtz_system,
+    build_poisson_system,
+)
+from .core.pressure import PressureOperator
+from .ns.bcs import ScalarBC, VelocityBC
+from .ns.diagnostics import FlowDiagnostics
+from .ns.navier_stokes import NavierStokesSolver, StepStats
+from .ns.scalar import BoussinesqCoupling, ScalarTransport
+from .ns.stokes import StokesResult, StokesSolver
+from .solvers.cg import CGResult, pcg
+from .solvers.jacobi import JacobiPreconditioner, jacobi_preconditioner
+from .solvers.pmultigrid import PMultigrid, build_p_hierarchy
+from .solvers.projection import SolutionProjector
+from .solvers.schwarz import HybridSchwarzPreconditioner, SchwarzPreconditioner
+from .solvers.xxt import XXTSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "BoussinesqCoupling",
+    "CGResult",
+    "DirichletMask",
+    "FieldEvaluator",
+    "FlowDiagnostics",
+    "FieldFilter",
+    "GeomFactors",
+    "HelmholtzOperator",
+    "HybridSchwarzPreconditioner",
+    "JacobiPreconditioner",
+    "LaplaceOperator",
+    "MassOperator",
+    "Mesh",
+    "NavierStokesSolver",
+    "PMultigrid",
+    "PressureOperator",
+    "ScalarBC",
+    "ScalarTransport",
+    "SchwarzPreconditioner",
+    "SEMSystem",
+    "SolutionProjector",
+    "StokesResult",
+    "StokesSolver",
+    "StepStats",
+    "VelocityBC",
+    "XXTSolver",
+    "box_mesh_2d",
+    "box_mesh_3d",
+    "extrude_mesh",
+    "build_helmholtz_system",
+    "build_p_hierarchy",
+    "build_poisson_system",
+    "geometric_factors",
+    "jacobi_preconditioner",
+    "load_checkpoint",
+    "save_checkpoint",
+    "save_vtk",
+    "transfer_field",
+    "map_mesh",
+    "pcg",
+    "refine_mesh",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: quick reproductions and demos.
+
+    python -m repro info              # package/version/system inventory
+    python -m repro demo              # 30-second Taylor-Green validation
+    python -m repro table3            # mxm kernel MFLOPS sweep
+    python -m repro table4            # terascale GFLOPS model
+    python -m repro fig4  [--steps N] # projection study
+    python -m repro fig6  [--size n]  # coarse-solver comparison
+    python -m repro table2 [--level L]# Schwarz variants on the cylinder mesh
+
+The full benchmark harness (all tables/figures with shape assertions) is
+``pytest benchmarks/ --benchmark-only``; the CLI offers the fast subset
+for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of Tufo & Fischer, SC'99")
+    print(f"public API: {len(repro.__all__)} names; see docs/API.md")
+    print("paper experiments: Tables 1-4, Figures 3/4/6/8 "
+          "(pytest benchmarks/ --benchmark-only)")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import NavierStokesSolver, VelocityBC, box_mesh_2d
+
+    L = 2 * np.pi
+    mesh = box_mesh_2d(4, 4, 8, x1=L, y1=L, periodic=(True, True))
+    sol = NavierStokesSolver(mesh, re=50.0, dt=0.02, bc=VelocityBC.none(mesh),
+                             convection="ext", projection_window=10)
+    sol.set_initial_condition([lambda x, y: -np.cos(x) * np.sin(y),
+                               lambda x, y: np.sin(x) * np.cos(y)])
+    e0 = sol.kinetic_energy()
+    sol.advance(50)
+    exact = e0 * np.exp(-4 * sol.t / sol.re)
+    rel = abs(sol.kinetic_energy() - exact) / e0
+    print(f"Taylor-Green, K={mesh.K}, N={mesh.order}: 50 steps to t={sol.t:.2f}")
+    print(f"  kinetic energy {sol.kinetic_energy():.8f} (exact {exact:.8f}, "
+          f"rel err {rel:.2e})")
+    print(f"  final pressure iterations: {sol.stats[-1].pressure_iterations} "
+          f"(projection active)")
+    return 0 if rel < 1e-4 else 1
+
+
+def _cmd_table3(_args) -> int:
+    from repro.perf.mxm import KERNELS, best_kernel_per_shape, sweep_table3
+
+    table = sweep_table3(min_time=0.05)
+    names = list(KERNELS)
+    print("Table 3: MFLOPS per kernel, (n1 x n2) x (n2 x n3)")
+    print(f"{'n1':>4} {'n2':>4} {'n3':>4} " + " ".join(f"{n:>10}" for n in names))
+    for (n1, n2, n3), row in table.items():
+        print(f"{n1:4d} {n2:4d} {n3:4d} "
+              + " ".join(f"{row[n]:10.1f}" for n in names))
+    winners = best_kernel_per_shape(table)
+    print("winners:", sorted(set(winners.values())))
+    return 0
+
+
+def _cmd_table4(_args) -> int:
+    from repro.parallel.machine import ASCI_RED_333, ASCI_RED_333_PERF
+    from repro.parallel.perf_model import TerascaleModel
+
+    rows = TerascaleModel().table4({"std": ASCI_RED_333, "perf": ASCI_RED_333_PERF})
+    print("Table 4 model: (K, N) = (8168, 15), 26 steps, ASCI-Red-333")
+    print(f"{'kernels':>8} {'mode':>7} {'P':>6} {'time(s)':>8} {'GFLOPS':>7}")
+    for r in rows:
+        print(f"{r.kernels:>8} {r.mode:>7} {r.P:6d} {r.time_s:8.0f} {r.gflops:7.1f}")
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.workloads.convection_cell import ConvectionCellCase
+
+    n = args.steps
+    with_proj = ConvectionCellCase(n_elements=3, order=6, dt=0.03,
+                                   projection_window=26).run(n)
+    without = ConvectionCellCase(n_elements=3, order=6, dt=0.03,
+                                 projection_window=0).run(n)
+    print(f"Fig. 4: pressure solves over {n} steps (buoyant convection)")
+    print(f"{'step':>5} {'iters L=26':>11} {'resid0 L=26':>12} "
+          f"{'iters L=0':>10} {'resid0 L=0':>11}")
+    for s in range(n):
+        print(f"{s + 1:5d} {with_proj.pressure_iterations[s]:11d} "
+              f"{with_proj.initial_residuals[s]:12.3e} "
+              f"{without.pressure_iterations[s]:10d} "
+              f"{without.initial_residuals[s]:11.3e}")
+    ratio = without.mean_iterations_tail / max(with_proj.mean_iterations_tail, 1e-9)
+    print(f"tail iteration ratio: {ratio:.2f} (paper: 2.5-5x)")
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.parallel.coarse_parallel import CoarseSolveModel, poisson_5pt
+    from repro.parallel.machine import ASCI_RED_333
+
+    a, coords = poisson_5pt(args.size)
+    model = CoarseSolveModel(a, ASCI_RED_333, coords=coords)
+    print(f"Fig. 6: coarse solvers, n = {model.n} "
+          f"(nnz(X) = {model.xxt.nnz}, residual {model.xxt.verify(a):.1e})")
+    print(f"{'P':>6} {'XXT':>11} {'red. LU':>11} {'dist Ainv':>11} {'bound':>11}")
+    for p in (1, 4, 16, 64, 256, 1024, 2048):
+        print(f"{p:6d} {model.time_xxt(p):11.3e} {model.time_redundant_lu(p):11.3e} "
+              f"{model.time_distributed_ainv(p):11.3e} "
+              f"{model.time_latency_bound(p):11.3e}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.workloads.cylinder_model import Table2Case
+
+    case = Table2Case(level=args.level, order=7)
+    print(f"Table 2: Schwarz variants, K = {case.mesh.K}, N = 7, eps = 1e-5")
+    configs = [("FDM", dict(variant="fdm")),
+               ("FEM No=0", dict(variant="fem", overlap=0)),
+               ("FEM No=1", dict(variant="fem", overlap=1)),
+               ("FEM No=3", dict(variant="fem", overlap=3)),
+               ("A0=0", dict(variant="fdm", use_coarse=False))]
+    print(f"{'variant':>10} {'iters':>6} {'cpu (s)':>8}")
+    for tag, kw in configs:
+        r = case.run(**kw)
+        print(f"{tag:>10} {r.iterations:6d} {r.cpu_seconds:8.2f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quick reproductions of Tufo & Fischer (SC'99).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package summary")
+    sub.add_parser("demo", help="Taylor-Green validation run")
+    sub.add_parser("table3", help="mxm kernel MFLOPS sweep")
+    sub.add_parser("table4", help="terascale GFLOPS model")
+    p4 = sub.add_parser("fig4", help="pressure projection study")
+    p4.add_argument("--steps", type=int, default=24)
+    p6 = sub.add_parser("fig6", help="coarse-grid solver comparison")
+    p6.add_argument("--size", type=int, default=31,
+                    help="grid side (paper: 63 and 127)")
+    p2 = sub.add_parser("table2", help="Schwarz variants on the cylinder mesh")
+    p2.add_argument("--level", type=int, default=0, choices=[0, 1, 2])
+    args = parser.parse_args(argv)
+    return {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "table3": _cmd_table3,
+        "table4": _cmd_table4,
+        "fig4": _cmd_fig4,
+        "fig6": _cmd_fig6,
+        "table2": _cmd_table2,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Spectral element discretization core (paper Sections 2-4).
+
+Quadrature, bases, batched tensor-product kernels, meshes, geometric
+factors, gather-scatter assembly, matrix-free operators, the PN-PN-2
+pressure operator, and the stabilization filter.
+"""

@@ -1,0 +1,148 @@
+"""Lagrange interpolation and differentiation matrices on GLL/GL grids.
+
+Section 2 of the paper expresses every field as a tensor product of
+Nth-order Lagrange polynomials ``h_i^N`` through the GLL points (Eq. 1).
+All operator applications then reduce to small dense 1-D matrices applied
+along each tensor direction (Section 3):
+
+* ``derivative_matrix`` — the collocation derivative ``D_ij = h_j'(xi_i)``,
+* ``interpolation_matrix`` — ``J_ij = h_j(y_i)`` mapping nodal values on one
+  grid to values at arbitrary points (used for the PN->PN-2 pressure grid
+  transfer, the filter, plotting, and the OIFS subintegration),
+* 1-D mass/stiffness matrices used by the FDM preconditioner (Section 5).
+
+Everything is computed via barycentric Lagrange formulas, which are stable
+up to far higher orders than the N<=19 range the paper exercises.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .quadrature import gauss_legendre, gauss_lobatto_legendre
+
+__all__ = [
+    "barycentric_weights",
+    "lagrange_eval",
+    "interpolation_matrix",
+    "derivative_matrix",
+    "gll_derivative_matrix",
+    "gll_to_gl_matrix",
+    "gl_to_gll_matrix",
+    "mass_matrix_1d",
+    "stiffness_matrix_1d",
+]
+
+
+def barycentric_weights(x: np.ndarray) -> np.ndarray:
+    """Barycentric weights ``w_j = 1 / prod_{k != j} (x_j - x_k)``."""
+    x = np.asarray(x, dtype=float)
+    diff = x[:, None] - x[None, :]
+    np.fill_diagonal(diff, 1.0)
+    return 1.0 / np.prod(diff, axis=1)
+
+
+def lagrange_eval(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Matrix ``L[i, j] = h_j(y_i)`` of Lagrange cardinal functions on ``x``.
+
+    Barycentric second form; exact (row of identity) when ``y_i`` coincides
+    with a node.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    w = barycentric_weights(x)
+    diff = y[:, None] - x[None, :]
+    exact_rows, exact_cols = np.nonzero(np.abs(diff) < 1e-14)
+    diff[exact_rows, :] = 1.0  # avoid division by zero; rows fixed below
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = w[None, :] / diff
+        out = terms / np.sum(terms, axis=1, keepdims=True)
+    out[exact_rows, :] = 0.0
+    out[exact_rows, exact_cols] = 1.0
+    return out
+
+
+def interpolation_matrix(x_from: np.ndarray, x_to: np.ndarray) -> np.ndarray:
+    """Nodal interpolation from grid ``x_from`` to points ``x_to``."""
+    return lagrange_eval(x_from, x_to)
+
+
+def derivative_matrix(x: np.ndarray) -> np.ndarray:
+    """Collocation differentiation matrix ``D_ij = h_j'(x_i)`` on nodes ``x``.
+
+    Off-diagonal entries from the barycentric formula
+    ``D_ij = (w_j / w_i) / (x_i - x_j)``; diagonal by the negative row sum,
+    which enforces exact differentiation of constants.
+    """
+    x = np.asarray(x, dtype=float)
+    w = barycentric_weights(x)
+    diff = x[:, None] - x[None, :]
+    np.fill_diagonal(diff, 1.0)
+    d = (w[None, :] / w[:, None]) / diff
+    np.fill_diagonal(d, 0.0)
+    np.fill_diagonal(d, -np.sum(d, axis=1))
+    return d
+
+
+@lru_cache(maxsize=None)
+def gll_derivative_matrix(n: int) -> np.ndarray:
+    """Differentiation matrix on the order-``n`` GLL grid (``(n+1)^2``)."""
+    x, _ = gauss_lobatto_legendre(n)
+    d = derivative_matrix(x)
+    d.flags.writeable = False
+    return d
+
+
+@lru_cache(maxsize=None)
+def gll_to_gl_matrix(n: int, m: int) -> np.ndarray:
+    """Interpolation from the ``n+1`` GLL points to the ``m`` GL points.
+
+    For the paper's PN-PN-2 pressure grid, ``m = n - 1``.
+    """
+    xg, _ = gauss_lobatto_legendre(n)
+    xl, _ = gauss_legendre(m)
+    j = interpolation_matrix(xg, xl)
+    j.flags.writeable = False
+    return j
+
+
+@lru_cache(maxsize=None)
+def gl_to_gll_matrix(m: int, n: int) -> np.ndarray:
+    """Interpolation from the ``m`` GL points to the ``n+1`` GLL points."""
+    xl, _ = gauss_legendre(m)
+    xg, _ = gauss_lobatto_legendre(n)
+    j = interpolation_matrix(xl, xg)
+    j.flags.writeable = False
+    return j
+
+
+@lru_cache(maxsize=None)
+def mass_matrix_1d(n: int) -> np.ndarray:
+    """Diagonal (lumped by GLL quadrature) 1-D mass matrix ``B_hat``.
+
+    The SEM mass matrix is diagonal *by construction* because the same GLL
+    points serve as interpolation nodes and quadrature points — the
+    "efficient quadrature" property of Section 2.  Returned dense for use in
+    tensor-product formulas like Eq. (2).
+    """
+    _, w = gauss_lobatto_legendre(n)
+    b = np.diag(w)
+    b.flags.writeable = False
+    return b
+
+
+@lru_cache(maxsize=None)
+def stiffness_matrix_1d(n: int) -> np.ndarray:
+    """1-D stiffness matrix ``A_hat = D^T B_hat D`` on the reference interval.
+
+    The building block of the tensor-product stiffness (Eq. 2) and of the
+    FDM generalized eigenproblem ``A z = lambda B z`` (Section 5).
+    """
+    d = gll_derivative_matrix(n)
+    _, w = gauss_lobatto_legendre(n)
+    a = d.T @ (w[:, None] * d)
+    a = 0.5 * (a + a.T)  # enforce exact symmetry
+    a.flags.writeable = False
+    return a

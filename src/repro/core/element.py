@@ -1,0 +1,163 @@
+"""Per-element geometric factors for deformed elements.
+
+Evaluating operators on a deformed element (Eq. 4) needs, at every GLL
+node, the Jacobian of the reference-to-physical map ``x^k(r, s[, t])``, its
+inverse metrics (``dr/dx`` etc.), and the symmetric tensor
+
+    G_ab = J * (w x w [x w]) * sum_c (d xi_a / d x_c)(d xi_b / d x_c),
+
+which folds the quadrature weights, Jacobian determinant, and metric terms
+into ``d(d+1)/2`` diagonal factors — exactly the ``G_ij`` matrices of
+Eq. (4).  Everything is computed once per mesh by differentiating the
+(isoparametric) coordinate fields with the same tensor-product kernels used
+for the solution fields, then stored and reused by every operator
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .basis import gll_derivative_matrix
+from .mesh import Mesh
+from .quadrature import gll_weights
+from .tensor import grad_2d, grad_3d
+
+__all__ = ["GeomFactors", "geometric_factors"]
+
+
+@dataclass
+class GeomFactors:
+    """Geometric factors of a mesh, all in the batched node layout.
+
+    Attributes
+    ----------
+    jac:
+        Jacobian determinant J at every node (must be positive).
+    bm:
+        Diagonal mass factors ``B = J * W`` (W = tensor of GLL weights);
+        the local diagonal mass matrix of Section 4.
+    dxi_dx:
+        ``dxi_dx[a][c] = d xi_a / d x_c`` — inverse metrics (a over r,s[,t],
+        c over x,y[,z]).
+    g:
+        Upper-triangle-packed stiffness factors: 2-D order
+        ``[G_rr, G_rs, G_ss]``; 3-D order
+        ``[G_rr, G_rs, G_rt, G_ss, G_st, G_tt]``.
+    wtensor:
+        The bare quadrature-weight tensor (without J), kept for operators
+        that integrate on the reference element.
+    """
+
+    ndim: int
+    jac: np.ndarray
+    bm: np.ndarray
+    dxi_dx: List[List[np.ndarray]]
+    g: List[np.ndarray]
+    wtensor: np.ndarray
+
+    def g_matrix(self, a: int, b: int) -> np.ndarray:
+        """Return ``G_ab`` from the packed upper triangle (symmetric)."""
+        if a > b:
+            a, b = b, a
+        if self.ndim == 2:
+            idx = {(0, 0): 0, (0, 1): 1, (1, 1): 2}[(a, b)]
+        else:
+            idx = {(0, 0): 0, (0, 1): 1, (0, 2): 2, (1, 1): 3, (1, 2): 4, (2, 2): 5}[
+                (a, b)
+            ]
+        return self.g[idx]
+
+
+def _weight_tensor(order: int, ndim: int) -> np.ndarray:
+    w = gll_weights(order)
+    if ndim == 2:
+        return w[:, None] * w[None, :]
+    return w[:, None, None] * w[None, :, None] * w[None, None, :]
+
+
+def geometric_factors(mesh: Mesh, axisymmetric: bool = False) -> GeomFactors:
+    """Compute :class:`GeomFactors` for a mesh by isoparametric differentiation.
+
+    Raises ``ValueError`` if any nodal Jacobian is non-positive (inverted or
+    degenerate element) — the standard validity check for deformed meshes.
+
+    ``axisymmetric=True`` (2-D only, coordinates interpreted as (x, r) with
+    r >= 0) folds the cylindrical measure ``r`` into the mass and stiffness
+    factors, so the standard scalar operators become their axisymmetric
+    counterparts: ``integral f r dr dx`` and ``integral nu grad v . grad u
+    r dr dx`` — the configuration the production code supports alongside
+    2-D/3-D (Section 1).  The swirl-free scalar equations (Poisson,
+    Helmholtz, heat) are exactly covered; the axisymmetric *momentum*
+    system (extra 1/r^2 coupling terms) is not implemented.
+    """
+    d = gll_derivative_matrix(mesh.order)
+    wt = _weight_tensor(mesh.order, mesh.ndim)
+
+    if mesh.ndim == 2:
+        x, y = mesh.coords
+        xr, xs = grad_2d(d, x)
+        yr, ys = grad_2d(d, y)
+        jac = xr * ys - xs * yr
+        if np.any(jac <= 0):
+            raise ValueError(
+                f"non-positive Jacobian at {int(np.sum(jac <= 0))} nodes; "
+                "mesh is inverted or degenerate"
+            )
+        inv = 1.0 / jac
+        rx, ry = ys * inv, -xs * inv
+        sx, sy = -yr * inv, xr * inv
+        dxi_dx = [[rx, ry], [sx, sy]]
+        jw = jac * wt
+        if axisymmetric:
+            radius = np.asarray(y)
+            if np.any(radius < -1e-14):
+                raise ValueError("axisymmetric meshes need r = y >= 0")
+            jw = jw * np.maximum(radius, 0.0)
+        g = [
+            jw * (rx * rx + ry * ry),
+            jw * (rx * sx + ry * sy),
+            jw * (sx * sx + sy * sy),
+        ]
+        return GeomFactors(2, jac, jw, dxi_dx, g, np.broadcast_to(wt, jac.shape))
+    if axisymmetric:
+        raise ValueError("axisymmetric geometry is 2-D (x, r) only")
+
+    x, y, z = mesh.coords
+    xr, xs, xt = grad_3d(d, x)
+    yr, ys, yt = grad_3d(d, y)
+    zr, zs, zt = grad_3d(d, z)
+    # Cofactor expansion of the 3x3 Jacobian matrix [d(x,y,z)/d(r,s,t)].
+    c_rx = ys * zt - yt * zs
+    c_ry = xt * zs - xs * zt
+    c_rz = xs * yt - xt * ys
+    c_sx = yt * zr - yr * zt
+    c_sy = xr * zt - xt * zr
+    c_sz = xt * yr - xr * yt
+    c_tx = yr * zs - ys * zr
+    c_ty = xs * zr - xr * zs
+    c_tz = xr * ys - xs * yr
+    jac = xr * c_rx + yr * c_ry + zr * c_rz
+    if np.any(jac <= 0):
+        raise ValueError(
+            f"non-positive Jacobian at {int(np.sum(jac <= 0))} nodes; "
+            "mesh is inverted or degenerate"
+        )
+    inv = 1.0 / jac
+    rx, ry, rz = c_rx * inv, c_ry * inv, c_rz * inv
+    sx, sy, sz = c_sx * inv, c_sy * inv, c_sz * inv
+    tx, ty, tz = c_tx * inv, c_ty * inv, c_tz * inv
+    dxi_dx = [[rx, ry, rz], [sx, sy, sz], [tx, ty, tz]]
+    jw = jac * wt
+    g = [
+        jw * (rx * rx + ry * ry + rz * rz),
+        jw * (rx * sx + ry * sy + rz * sz),
+        jw * (rx * tx + ry * ty + rz * tz),
+        jw * (sx * sx + sy * sy + sz * sz),
+        jw * (sx * tx + sy * ty + sz * tz),
+        jw * (tx * tx + ty * ty + tz * tz),
+    ]
+    return GeomFactors(3, jac, jw, dxi_dx, g, np.broadcast_to(wt, jac.shape))

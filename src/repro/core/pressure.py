@@ -1,0 +1,234 @@
+"""The PN-PN-2 staggered pressure discretization (Section 4).
+
+Velocity lives on the (N+1)^d GLL grid; pressure lives on the (N-1)^d
+interior Gauss-Legendre grid, with no continuity constraint (the pressure
+space is discontinuous across elements).  The discrete operators are
+
+* ``D``   — weak divergence, velocity -> pressure grid:
+  ``(D u)_q = integral q (div u)`` evaluated by GL quadrature,
+* ``D^T`` — its exact adjoint (weak gradient), pressure -> velocity grid,
+* ``E = D B^{-1} D^T`` — the Stokes Schur complement ("consistent Poisson
+  operator") governing the pressure, with ``B`` the *assembled* diagonal
+  velocity mass matrix restricted to unconstrained velocity dofs.
+
+Deformed geometry enters through the Jacobian cofactors ``J * d(xi_a)/d(x_c)``
+interpolated to the GL grid — cofactors (not metrics) because they are
+polynomial in the element coordinates and hence interpolated exactly for
+isoparametric geometry.
+
+``E`` is SPD on the orthogonal complement of its nullspace (constant
+pressure, for enclosed or fully periodic flows) and is the system the
+additive Schwarz preconditioner of Section 5 targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..perf.flops import add_flops
+from .assembly import Assembler, DirichletMask
+from .basis import gl_to_gll_matrix, gll_derivative_matrix, gll_to_gl_matrix
+from .element import GeomFactors, geometric_factors
+from .mesh import Mesh
+from .quadrature import gl_weights
+from .tensor import apply_tensor, grad_2d, grad_3d, grad_transpose_2d, grad_transpose_3d
+
+__all__ = ["PressureOperator"]
+
+
+class PressureOperator:
+    """Divergence / gradient / consistent-Poisson operators on PN-PN-2 grids.
+
+    Parameters
+    ----------
+    mesh:
+        Velocity mesh (order N >= 2).
+    vel_mask:
+        Dirichlet mask of the velocity space (nodes where velocity is
+        prescribed); defines which dofs participate in ``B^{-1}``.  Defaults
+        to all physical boundary sides (enclosed flow).
+    assembler, geom:
+        Optional shared assembler and geometric factors.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        vel_mask: Optional[DirichletMask] = None,
+        assembler: Optional[Assembler] = None,
+        geom: Optional[GeomFactors] = None,
+        axisymmetric: bool = False,
+    ):
+        if mesh.order < 2:
+            raise ValueError("PN-PN-2 needs velocity order N >= 2")
+        if axisymmetric and mesh.ndim != 2:
+            raise ValueError("axisymmetric pressure operator is 2-D (x, r) only")
+        self.mesh = mesh
+        self.n = mesh.order
+        self.m = mesh.order - 1  # GL points per direction on the pressure grid
+        self.axisymmetric = bool(axisymmetric)
+        self.assembler = assembler if assembler is not None else Assembler.for_mesh(mesh)
+        # Axisymmetric runs need the r-weighted mass in B^{-1}; build the
+        # matching geometry when the caller did not supply one.
+        self.geom = (
+            geom if geom is not None
+            else geometric_factors(mesh, axisymmetric=axisymmetric)
+        )
+        if vel_mask is None:
+            if mesh.boundary:
+                vel_mask = DirichletMask(mesh.boundary_mask())
+            else:
+                vel_mask = DirichletMask.none(mesh.local_shape)
+        self.vel_mask = vel_mask
+
+        self.d = gll_derivative_matrix(self.n)
+        self.j_down = np.asarray(gll_to_gl_matrix(self.n, self.m))  # GLL -> GL
+        self.j_up = self.j_down.T.copy()  # used only via explicit transposes
+
+        nd = mesh.ndim
+        #: pressure-grid field shape
+        self.p_shape = (mesh.K,) + (self.m,) * nd
+        # Quadrature weight tensor on the GL grid.
+        w = gl_weights(self.m)
+        if nd == 2:
+            self.w_gl = w[:, None] * w[None, :]
+        else:
+            self.w_gl = w[:, None, None] * w[None, :, None] * w[None, None, :]
+        # Cofactors J * dxi_a/dx_c interpolated to the GL grid, pre-multiplied
+        # by the GL weights: wcof[a][c].
+        down = [self.j_down] * nd
+        self.wcof: List[List[np.ndarray]] = [
+            [
+                self.w_gl * apply_tensor(down, self.geom.dxi_dx[a][c] * self.geom.jac)
+                for c in range(nd)
+            ]
+            for a in range(nd)
+        ]
+        # Pressure-grid mass (for means / norms): J on GL grid times weights.
+        self.bm_p = self.w_gl * apply_tensor(down, self.geom.jac)
+        # Axisymmetric (x, r) continuity: du_x/dx + (1/r) d(r u_r)/dr = 0.
+        # Weak form with the r dV measure: r-weight the cofactor terms and
+        # add the extra  integral q u_r  term (weight = w J, *without* r).
+        self._axi_extra: Optional[np.ndarray] = None
+        if self.axisymmetric:
+            r_gl = apply_tensor(down, np.asarray(mesh.coords[1]))
+            self._axi_extra = self.bm_p.copy()  # w * J on the GL grid
+            for a in range(nd):
+                for c in range(nd):
+                    self.wcof[a][c] = self.wcof[a][c] * r_gl
+            self.bm_p = self.bm_p * r_gl
+        # Assembled velocity mass, masked inverse (zero on constrained dofs).
+        ba = self.assembler.dssum(self.geom.bm)
+        inv = self.vel_mask.apply(1.0 / ba)
+        self._inv_mass = inv
+        # Nullspace: constant pressure iff no velocity dof escapes the mask
+        # (enclosed or fully periodic flow -> compatibility condition).
+        self.has_nullspace = self._detect_nullspace()
+
+    # ------------------------------------------------------------------ basics
+    def _detect_nullspace(self) -> bool:
+        """Constant-pressure nullspace check: ||E 1|| ~ 0."""
+        ones = np.ones(self.p_shape)
+        r = self.apply_e(ones)
+        scale = float(np.max(np.abs(self.bm_p)))
+        return float(np.max(np.abs(r))) < 1e-8 * max(scale, 1.0)
+
+    def pressure_field(self, fill: float = 0.0) -> np.ndarray:
+        """Allocate a pressure-grid field."""
+        return np.full(self.p_shape, fill, dtype=float)
+
+    def interp_to_pressure(self, u: np.ndarray) -> np.ndarray:
+        """Interpolate a velocity-grid field to the pressure (GL) grid."""
+        return apply_tensor([self.j_down] * self.mesh.ndim, u)
+
+    def interp_to_velocity(self, p: np.ndarray) -> np.ndarray:
+        """Interpolate a pressure-grid field to the velocity (GLL) grid."""
+        up = np.asarray(gl_to_gll_matrix(self.m, self.n))
+        return apply_tensor([up] * self.mesh.ndim, p)
+
+    def mean(self, p: np.ndarray) -> float:
+        """Mass-weighted mean of a pressure field over the domain."""
+        add_flops(2 * p.size, "dot")
+        return float(np.sum(self.bm_p * p) / np.sum(self.bm_p))
+
+    def remove_mean(self, p: np.ndarray) -> np.ndarray:
+        """Project out the constant nullspace component."""
+        return p - self.mean(p)
+
+    def dot(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Plain inner product (pressure dofs are unique — no multiplicity)."""
+        add_flops(2 * p.size, "dot")
+        return float(np.sum(p * q))
+
+    def norm(self, p: np.ndarray) -> float:
+        return float(np.sqrt(max(self.dot(p, p), 0.0)))
+
+    # ----------------------------------------------------------- D and D^T
+    def apply_div(self, u_vec: List[np.ndarray]) -> np.ndarray:
+        """Weak divergence ``D u``: velocity components -> pressure grid.
+
+        ``(D u)_lm = sum_c integral_ref q_lm sum_a cof[a][c] d(u_c)/d(xi_a)``
+        with the integral evaluated by GL quadrature on the pressure grid.
+        """
+        nd = self.mesh.ndim
+        if len(u_vec) != nd:
+            raise ValueError(f"need {nd} velocity components, got {len(u_vec)}")
+        down = [self.j_down] * nd
+        out = np.zeros(self.p_shape)
+        grad = grad_2d if nd == 2 else grad_3d
+        for c in range(nd):
+            derivs = grad(self.d, u_vec[c])
+            for a in range(nd):
+                out += self.wcof[a][c] * apply_tensor(down, derivs[a])
+        if self._axi_extra is not None:
+            out += self._axi_extra * apply_tensor(down, np.asarray(u_vec[1]))
+        add_flops(2 * nd * nd * out.size, "pointwise")
+        return out
+
+    def apply_div_t(self, p: np.ndarray) -> List[np.ndarray]:
+        """Weak gradient ``D^T p``: pressure grid -> velocity components.
+
+        Exact transpose of :func:`apply_div` w.r.t. the plain local inner
+        products on both grids (verified by the adjoint unit tests).  The
+        result is a *local* (unassembled) velocity-space vector.
+        """
+        nd = self.mesh.ndim
+        up = [self.j_down.T] * nd  # transpose of the down-interpolation
+        grad_t = grad_transpose_2d if nd == 2 else grad_transpose_3d
+        out = []
+        for c in range(nd):
+            pieces = [apply_tensor(up, self.wcof[a][c] * p) for a in range(nd)]
+            out.append(grad_t(self.d, *pieces))
+        if self._axi_extra is not None:
+            out[1] = out[1] + apply_tensor(up, self._axi_extra * p)
+        add_flops(nd * nd * p.size, "pointwise")
+        return out
+
+    # ----------------------------------------------------------------- E
+    def apply_binv(self, w_vec: List[np.ndarray]) -> List[np.ndarray]:
+        """Masked assembled inverse mass: local -> continuous velocity fields."""
+        return [self.assembler.dssum(w) * self._inv_mass for w in w_vec]
+
+    def apply_e(self, p: np.ndarray) -> np.ndarray:
+        """Consistent Poisson operator ``E p = D B^{-1} D^T p``."""
+        w = self.apply_div_t(p)
+        v = self.apply_binv(w)
+        add_flops(2 * sum(x.size for x in w), "pointwise")
+        return self.apply_div(v)
+
+    def make_rhs_from_velocity(self, u_vec: List[np.ndarray]) -> np.ndarray:
+        """Pressure RHS ``-D u`` (divergence residual), mean-removed if singular."""
+        g = -self.apply_div(u_vec)
+        if self.has_nullspace:
+            # Compatibility: remove the component along the nullspace.
+            g = g - float(np.sum(g) / g.size)
+        return g
+
+    def matvec(self, p: np.ndarray) -> np.ndarray:
+        """Solver-facing matvec; pins the nullspace by mean-projection."""
+        out = self.apply_e(p)
+        if self.has_nullspace:
+            out = out - float(np.sum(out) / out.size)
+        return out

@@ -1,0 +1,166 @@
+"""Gauss and Gauss-Lobatto-Legendre quadrature rules.
+
+The spectral element method of the paper builds everything on two 1-D point
+families on the reference interval [-1, 1]:
+
+* **Gauss-Lobatto-Legendre (GLL)** points — zeros of ``(1 - x^2) P_N'(x)``,
+  including the endpoints.  These carry the velocity (and geometry) and make
+  the C0 inter-element continuity a pure pointwise identification (Section 2).
+* **Gauss-Legendre (GL)** points — zeros of ``P_M(x)``, strictly interior.
+  These carry the pressure in the PN-PN-2 staggered formulation (Section 4),
+  where the pressure grid uses the M = N-1 point Gauss rule.
+
+Both rules are computed here from scratch: Legendre polynomials via the
+three-term recurrence and Newton iteration on good initial guesses, as in the
+classical SEM literature (Deville-Fischer-Mund, Appendix B) — we do not rely
+on ``numpy.polynomial`` so that the construction is self-contained and the
+weights come out in the standard SEM normalization.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "legendre",
+    "legendre_deriv",
+    "gauss_legendre",
+    "gauss_lobatto_legendre",
+    "gll_points",
+    "gll_weights",
+    "gl_points",
+    "gl_weights",
+]
+
+
+def legendre(n: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate the Legendre polynomial ``P_n`` at ``x``.
+
+    Uses the stable three-term recurrence
+    ``(k+1) P_{k+1} = (2k+1) x P_k - k P_{k-1}``.
+    """
+    x = np.asarray(x, dtype=float)
+    if n == 0:
+        return np.ones_like(x)
+    if n == 1:
+        return x.copy()
+    p_km1 = np.ones_like(x)
+    p_k = x.copy()
+    for k in range(1, n):
+        p_kp1 = ((2 * k + 1) * x * p_k - k * p_km1) / (k + 1)
+        p_km1, p_k = p_k, p_kp1
+    return p_k
+
+
+def legendre_deriv(n: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate ``P_n'`` at ``x`` via ``(1-x^2) P_n' = n (P_{n-1} - x P_n)``.
+
+    At the endpoints the identity degenerates; there we use the closed form
+    ``P_n'(+-1) = (+-1)^{n-1} n (n+1) / 2``.
+    """
+    x = np.asarray(x, dtype=float)
+    if n == 0:
+        return np.zeros_like(x)
+    pn = legendre(n, x)
+    pnm1 = legendre(n - 1, x)
+    denom = 1.0 - x * x
+    out = np.empty_like(x)
+    interior = np.abs(denom) > 1e-14
+    out[interior] = n * (pnm1[interior] - x[interior] * pn[interior]) / denom[interior]
+    edge = ~interior
+    if np.any(edge):
+        sgn = np.where(x[edge] > 0, 1.0, (-1.0) ** (n - 1))
+        out[edge] = sgn * n * (n + 1) / 2.0
+    return out
+
+
+@lru_cache(maxsize=None)
+def gauss_legendre(m: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``m``-point Gauss-Legendre rule: (points, weights), exact on P_{2m-1}.
+
+    Newton iteration on the Chebyshev initial guess
+    ``cos(pi (4i+3) / (4m+2))``; converges quadratically in a handful of
+    sweeps for any practical order.
+    """
+    if m < 1:
+        raise ValueError(f"Gauss rule needs m >= 1, got {m}")
+    i = np.arange(m)
+    x = np.cos(np.pi * (4 * i + 3) / (4 * m + 2))
+    for _ in range(100):
+        p = legendre(m, x)
+        dp = legendre_deriv(m, x)
+        dx = p / dp
+        x = x - dx
+        if np.max(np.abs(dx)) < 1e-15:
+            break
+    x = np.sort(x)
+    dp = legendre_deriv(m, x)
+    w = 2.0 / ((1.0 - x * x) * dp * dp)
+    # Symmetrize exactly (points come in +- pairs).
+    x = 0.5 * (x - x[::-1])
+    w = 0.5 * (w + w[::-1])
+    x.flags.writeable = False
+    w.flags.writeable = False
+    return x, w
+
+
+@lru_cache(maxsize=None)
+def gauss_lobatto_legendre(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """GLL rule with ``n+1`` points (polynomial order ``n``): (points, weights).
+
+    Points are the endpoints plus the zeros of ``P_n'``; the rule is exact on
+    P_{2n-1}.  Weights are ``2 / (n (n+1) P_n(x)^2)``.
+    """
+    if n < 1:
+        raise ValueError(f"GLL rule needs order n >= 1, got {n}")
+    if n == 1:
+        x = np.array([-1.0, 1.0])
+        w = np.array([1.0, 1.0])
+        x.flags.writeable = False
+        w.flags.writeable = False
+        return x, w
+    # Interior points: zeros of P_n'.  Initial guess: extrema of the Chebyshev
+    # polynomial, which interlace well with the Legendre extrema.
+    j = np.arange(1, n)
+    x = np.cos(np.pi * j / n)
+    for _ in range(100):
+        # Newton on f = P_n'(x); f' = P_n''(x) from the Legendre ODE:
+        # (1-x^2) P_n'' - 2 x P_n' + n(n+1) P_n = 0.
+        dp = legendre_deriv(n, x)
+        pn = legendre(n, x)
+        d2p = (2 * x * dp - n * (n + 1) * pn) / (1.0 - x * x)
+        dx = dp / d2p
+        x = x - dx
+        if np.max(np.abs(dx)) < 1e-15:
+            break
+    x = np.concatenate(([-1.0], np.sort(x), [1.0]))
+    pn = legendre(n, x)
+    w = 2.0 / (n * (n + 1) * pn * pn)
+    x = 0.5 * (x - x[::-1])
+    w = 0.5 * (w + w[::-1])
+    x.flags.writeable = False
+    w.flags.writeable = False
+    return x, w
+
+
+def gll_points(n: int) -> np.ndarray:
+    """The ``n+1`` GLL points for polynomial order ``n``."""
+    return gauss_lobatto_legendre(n)[0]
+
+
+def gll_weights(n: int) -> np.ndarray:
+    """The GLL quadrature weights for polynomial order ``n``."""
+    return gauss_lobatto_legendre(n)[1]
+
+
+def gl_points(m: int) -> np.ndarray:
+    """The ``m`` Gauss-Legendre points."""
+    return gauss_legendre(m)[0]
+
+
+def gl_weights(m: int) -> np.ndarray:
+    """The ``m`` Gauss-Legendre weights."""
+    return gauss_legendre(m)[1]

@@ -1,0 +1,5 @@
+"""Incompressible Navier-Stokes time integration (paper Section 4).
+
+Operator-split BDF2/BDF3 with OIFS convection sub-integration, boundary
+conditions, scalar transport, and Boussinesq coupling.
+"""

@@ -1,0 +1,159 @@
+"""Velocity and scalar boundary conditions.
+
+The code supports the paper's benchmark configurations: Dirichlet (no-slip
+walls, prescribed inflow such as the Blasius profile of Section 7),
+periodic directions (handled topologically by the mesh numbering), and
+natural/do-nothing outflow (simply *not* constraining a side, which in the
+weak formulation imposes zero traction).
+
+Dirichlet data may be a constant, one callable per component ``f(x, y[, z])``,
+or time-dependent ``f(x, y[, z], t)`` — the arity is detected once.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.assembly import DirichletMask
+from ..core.mesh import Mesh
+
+__all__ = ["VelocityBC", "ScalarBC"]
+
+Component = Union[float, Callable]
+
+
+class _SideData:
+    """Evaluated Dirichlet data for one side."""
+
+    def __init__(self, mesh: Mesh, side: str, comps: Sequence[Component]):
+        self.mask = mesh.boundary[side]
+        self.comps = list(comps)
+        self.mesh = mesh
+        self._time_dependent = any(
+            callable(c) and _wants_time(c, mesh.ndim) for c in comps
+        )
+
+    def evaluate(self, t: float) -> List[np.ndarray]:
+        out = []
+        for c in self.comps:
+            if callable(c):
+                args = [np.asarray(x) for x in self.mesh.coords]
+                if _wants_time(c, self.mesh.ndim):
+                    vals = c(*args, t)
+                else:
+                    vals = c(*args)
+                out.append(np.broadcast_to(np.asarray(vals, dtype=float),
+                                           self.mesh.local_shape))
+            else:
+                out.append(np.full(self.mesh.local_shape, float(c)))
+        return out
+
+
+def _wants_time(f: Callable, ndim: int) -> bool:
+    try:
+        n_par = len(inspect.signature(f).parameters)
+    except (TypeError, ValueError):
+        return False
+    return n_par > ndim
+
+
+class VelocityBC:
+    """Dirichlet specification for the velocity vector.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh (periodic directions contribute no sides).
+    dirichlet:
+        Mapping ``side -> components``; components is a scalar/callable per
+        velocity component, e.g. ``{"ymin": (0, 0), "xmin": (inflow_u, 0)}``.
+        Sides not mentioned are natural (do-nothing) boundaries.
+    """
+
+    def __init__(self, mesh: Mesh, dirichlet: Optional[Dict[str, Sequence[Component]]] = None):
+        self.mesh = mesh
+        dirichlet = dirichlet or {}
+        for side in dirichlet:
+            if side not in mesh.boundary:
+                raise KeyError(
+                    f"side {side!r} not on this mesh (have {sorted(mesh.boundary)})"
+                )
+        for side, comps in dirichlet.items():
+            if len(comps) != mesh.ndim:
+                raise ValueError(
+                    f"side {side!r}: need {mesh.ndim} velocity components, "
+                    f"got {len(comps)}"
+                )
+        self._sides = {
+            side: _SideData(mesh, side, comps) for side, comps in dirichlet.items()
+        }
+        constrained = np.zeros(mesh.local_shape, dtype=bool)
+        for sd in self._sides.values():
+            constrained |= sd.mask
+        self.mask = DirichletMask(constrained)
+        self.time_dependent = any(sd._time_dependent for sd in self._sides.values())
+        self._cache_t: Optional[float] = None
+        self._cache: Optional[List[np.ndarray]] = None
+
+    @classmethod
+    def no_slip_all(cls, mesh: Mesh) -> "VelocityBC":
+        """Homogeneous Dirichlet on every (non-periodic) side."""
+        zero = tuple(0.0 for _ in range(mesh.ndim))
+        return cls(mesh, {side: zero for side in mesh.boundary})
+
+    @classmethod
+    def none(cls, mesh: Mesh) -> "VelocityBC":
+        """Fully periodic / unconstrained problems."""
+        return cls(mesh, {})
+
+    def lift(self, t: float = 0.0) -> List[np.ndarray]:
+        """Velocity fields holding the Dirichlet data on constrained nodes
+        (zero elsewhere) — the boundary lift ``u_b`` of the solves."""
+        if self._cache is not None and (not self.time_dependent or self._cache_t == t):
+            return [u.copy() for u in self._cache]
+        fields = [np.zeros(self.mesh.local_shape) for _ in range(self.mesh.ndim)]
+        for sd in self._sides.values():
+            vals = sd.evaluate(t)
+            for c in range(self.mesh.ndim):
+                fields[c] = np.where(sd.mask, vals[c], fields[c])
+        self._cache = [u.copy() for u in fields]
+        self._cache_t = t
+        return fields
+
+    def apply_to(self, u: List[np.ndarray], t: float = 0.0) -> List[np.ndarray]:
+        """Overwrite constrained nodes of ``u`` with the Dirichlet data."""
+        lifts = self.lift(t)
+        return [
+            np.where(self.mask.constrained, lb, uc) for uc, lb in zip(u, lifts)
+        ]
+
+
+class ScalarBC:
+    """Dirichlet specification for a transported scalar (temperature)."""
+
+    def __init__(self, mesh: Mesh, dirichlet: Optional[Dict[str, Component]] = None):
+        self.mesh = mesh
+        dirichlet = dirichlet or {}
+        for side in dirichlet:
+            if side not in mesh.boundary:
+                raise KeyError(f"side {side!r} not on this mesh")
+        self._sides = {
+            side: _SideData(mesh, side, [val]) for side, val in dirichlet.items()
+        }
+        constrained = np.zeros(mesh.local_shape, dtype=bool)
+        for sd in self._sides.values():
+            constrained |= sd.mask
+        self.mask = DirichletMask(constrained)
+        self.time_dependent = any(sd._time_dependent for sd in self._sides.values())
+
+    def lift(self, t: float = 0.0) -> np.ndarray:
+        field = np.zeros(self.mesh.local_shape)
+        for sd in self._sides.values():
+            field = np.where(sd.mask, sd.evaluate(t)[0], field)
+        return field
+
+    def apply_to(self, s: np.ndarray, t: float = 0.0) -> np.ndarray:
+        return np.where(self.mask.constrained, self.lift(t), s)

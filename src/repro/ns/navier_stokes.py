@@ -1,0 +1,530 @@
+"""The incompressible Navier-Stokes integrator (Sections 4-5).
+
+One timestep follows the paper's operator-splitting pipeline:
+
+1. **Convection** — either OIFS sub-integration of the material derivative
+   (CFL 1-5; Section 4) or classical explicit extrapolation (EXTk).
+2. **Velocity Helmholtz solves** — ``H u* = B f_hat + D^T p^{n-1}`` with
+   ``H = (beta0/dt) B + (1/Re) A``, one Jacobi-PCG solve per component.
+3. **Pressure correction** — ``E dp = -(beta0/dt) D u*`` solved by CG with
+   the additive Schwarz preconditioner (Section 5), accelerated by
+   projection onto previous solutions (Fig. 4); then
+   ``u^n = u* + (dt/beta0) B^{-1} D^T dp``, ``p^n = p^{n-1} + dp``.
+4. **Filtering** — the once-per-step Fischer-Mullen filter (Section 2).
+
+Per-step solver statistics (pressure/Helmholtz iteration counts, initial
+residuals, CFL) are recorded in ``solver.stats`` — the quantities plotted
+in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.assembly import Assembler
+from ..core.element import geometric_factors
+from ..core.filters import FieldFilter
+from ..core.mesh import Mesh
+from ..core.operators import HelmholtzOperator, LaplaceOperator, MassOperator
+from ..core.pressure import PressureOperator
+from ..perf.flops import add_flops
+from ..solvers.cg import pcg
+from ..solvers.jacobi import JacobiPreconditioner
+from ..solvers.projection import SolutionProjector
+from ..solvers.schwarz import SchwarzPreconditioner
+from .bcs import VelocityBC
+from .convection import Convection, DealiasedConvection, courant_number
+
+__all__ = ["NavierStokesSolver", "StepStats", "BDF_COEFFS", "EXT_COEFFS"]
+
+#: BDFk coefficients: (beta0, [b1, b2, ...]) for
+#: (beta0 u^n - sum_q b_q u^{n-q}) / dt = rhs.
+BDF_COEFFS = {
+    1: (1.0, [1.0]),
+    2: (1.5, [2.0, -0.5]),
+    3: (11.0 / 6.0, [3.0, -1.5, 1.0 / 3.0]),
+}
+
+#: EXTk extrapolation coefficients for explicit terms.
+EXT_COEFFS = {1: [1.0], 2: [2.0, -1.0], 3: [3.0, -3.0, 1.0]}
+
+
+@dataclass
+class StepStats:
+    """Per-timestep solver diagnostics (the Fig. 8 series)."""
+
+    step: int
+    time: float
+    cfl: float
+    pressure_iterations: int
+    pressure_initial_residual: float
+    pressure_rhs_norm: float
+    helmholtz_iterations: List[int]
+    divergence_norm: float
+    wall_seconds: float = 0.0
+
+
+class NavierStokesSolver:
+    """Spectral element incompressible Navier-Stokes solver.
+
+    Parameters
+    ----------
+    mesh:
+        Velocity mesh (order N >= 3 recommended for the PN-PN-2 pressure).
+    re:
+        Reynolds number (viscosity = 1/Re in the nondimensional equations).
+    dt:
+        Timestep size.
+    bc:
+        Velocity boundary conditions; defaults to no-slip on all sides.
+    scheme:
+        Temporal order, 2 or 3 (Table 1's "2nd Order"/"3rd Order").  Lower
+        orders are used automatically during start-up.
+    convection:
+        ``"oifs"`` (sub-integrated material derivative, CFL 1-5) or
+        ``"ext"`` (extrapolated explicit convection, CFL <~ 0.5), or
+        ``"none"`` (Stokes flow).
+    filter_alpha:
+        Fischer-Mullen filter strength (0 disables; Table 1 / Fig. 3).
+    projection_window:
+        L for the successive-RHS pressure projection (0 disables; Fig. 4).
+    pressure_variant:
+        Schwarz local-solve family, ``"fdm"`` or ``"fem"``; ``"jacobi"``
+        falls back to diagonal preconditioning of E (testing only).
+    forcing:
+        Optional body force ``f(x, y[, z], t) -> components``.
+    oifs_cfl_target:
+        RK4 substep sizing: substeps = ceil(CFL / target).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        re: float,
+        dt: float,
+        bc: Optional[VelocityBC] = None,
+        scheme: int = 2,
+        convection: str = "oifs",
+        filter_alpha: float = 0.0,
+        filter_modes: int = 1,
+        projection_window: int = 20,
+        pressure_variant: str = "fdm",
+        pressure_tol: float = 1e-8,
+        helmholtz_tol: float = 1e-10,
+        forcing: Optional[Callable] = None,
+        oifs_cfl_target: float = 0.25,
+        coarse_dirichlet_vertices: Optional[np.ndarray] = None,
+        dealias: bool = False,
+        coriolis: Optional[Sequence[float]] = None,
+        axisymmetric: bool = False,
+    ):
+        if scheme not in (1, 2, 3):
+            raise ValueError(f"scheme must be 1, 2 or 3, got {scheme}")
+        if convection not in ("oifs", "ext", "none"):
+            raise ValueError(f"unknown convection treatment {convection!r}")
+        if re <= 0 or dt <= 0:
+            raise ValueError("need re > 0 and dt > 0")
+        self.mesh = mesh
+        self.re = float(re)
+        self.dt = float(dt)
+        self.scheme = scheme
+        self.convection_mode = convection
+        self.forcing = forcing
+        self.oifs_cfl_target = float(oifs_cfl_target)
+        # Rotating-frame Coriolis term -2 Omega x u (explicitly extrapolated
+        # with the convection history) — the GFFC-class configuration of
+        # Fig. 1.  2-D: pass a scalar f (rotation about z); 3-D: Omega vector.
+        if coriolis is None:
+            self.coriolis = None
+        elif mesh.ndim == 2:
+            self.coriolis = float(np.atleast_1d(coriolis)[0])
+        else:
+            om = np.asarray(coriolis, dtype=float)
+            if om.shape != (3,):
+                raise ValueError("3-D coriolis needs an Omega vector of length 3")
+            self.coriolis = om
+
+        # Axisymmetric (x, r) swirl-free mode: r-weighted measure throughout,
+        # the extra u_r/r^2 viscous coupling, and the cylindrical divergence.
+        # Domains must keep r > 0 (annuli/pipe shells; the axis needs the
+        # L'Hopital treatment we do not implement).
+        self.axisymmetric = bool(axisymmetric)
+        if self.axisymmetric:
+            if mesh.ndim != 2:
+                raise ValueError("axisymmetric mode is 2-D (x, r) only")
+            if float(np.min(np.asarray(mesh.coords[1]))) <= 0.0:
+                raise ValueError("axisymmetric mode needs r > 0 everywhere")
+        self.geom = geometric_factors(mesh, axisymmetric=self.axisymmetric)
+        self.assembler = Assembler.for_mesh(mesh)
+        self.bc = bc if bc is not None else VelocityBC.no_slip_all(mesh)
+        self.mask = self.bc.mask
+
+        self.mass = MassOperator(self.geom)
+        self.laplace = LaplaceOperator(mesh, self.geom)
+        # Over-integration (3/2-rule) is the alternative dealiasing path to
+        # the paper's filter; both can be combined.
+        conv_cls = DealiasedConvection if dealias else Convection
+        self.conv = conv_cls(mesh, self.geom, self.assembler)
+        self.pop = PressureOperator(
+            mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom,
+            axisymmetric=self.axisymmetric,
+        )
+        if pressure_variant == "jacobi":
+            diag = self._pressure_diagonal_estimate()
+            self.pressure_precond = JacobiPreconditioner(diag)
+        else:
+            self.pressure_precond = SchwarzPreconditioner(
+                mesh,
+                self.pop,
+                variant=pressure_variant,
+                dirichlet_vertices=coarse_dirichlet_vertices,
+            )
+        self.pressure_tol = float(pressure_tol)
+        self.helmholtz_tol = float(helmholtz_tol)
+        self.projector = (
+            SolutionProjector(self.pop.matvec, self.pop.dot, projection_window)
+            if projection_window > 0
+            else None
+        )
+        self.filter = (
+            FieldFilter(mesh, filter_alpha, self.assembler, n_modes=filter_modes)
+            if filter_alpha > 0
+            else None
+        )
+
+        # Helmholtz operators per BDF order (h0 changes with beta0).
+        self._helmholtz: Dict[int, HelmholtzOperator] = {}
+        self._helmholtz_diag: Dict[int, np.ndarray] = {}
+
+        # State.
+        self.t = 0.0
+        self.step_count = 0
+        self.u: List[np.ndarray] = [mesh.field() for _ in range(mesh.ndim)]
+        self.p: np.ndarray = self.pop.pressure_field()
+        self._u_hist: List[List[np.ndarray]] = []  # newest first
+        self._t_hist: List[float] = []
+        self._conv_hist: List[List[np.ndarray]] = []  # -(u.grad)u, newest first
+        self.stats: List[StepStats] = []
+
+    # ------------------------------------------------------------ setup bits
+    def _pressure_diagonal_estimate(self) -> np.ndarray:
+        """Rough diagonal of E for the (testing-only) Jacobi option."""
+        probe = self.pop.apply_e(np.ones(self.pop.p_shape))
+        base = self.pop.bm_p
+        scale = max(float(np.max(np.abs(probe))), 1e-12)
+        return np.maximum(np.abs(probe), 1e-3 * scale) + 0 * base
+
+    def _helmholtz_for(self, order: int, comp: int = 0) -> HelmholtzOperator:
+        # Components share one operator except the axisymmetric radial
+        # momentum, whose vector Laplacian carries the extra  +nu u_r / r^2.
+        radial = self.axisymmetric and comp == 1
+        key = (order, radial)
+        if key not in self._helmholtz:
+            beta0, _ = BDF_COEFFS[order]
+            h0 = beta0 / self.dt
+            if radial:
+                r = np.asarray(self.mesh.coords[1])
+                h0 = h0 + (1.0 / self.re) / (r * r)
+            op = HelmholtzOperator(
+                self.mesh, h1=1.0 / self.re, h0=h0, geom=self.geom
+            )
+            self._helmholtz[key] = op
+            dia = self.assembler.dssum(op.diagonal())
+            dia = self.mask.apply(dia) + self.mask.constrained.astype(float)
+            self._helmholtz_diag[key] = dia
+        return self._helmholtz[key]
+
+    # ------------------------------------------------------------- interface
+    def set_initial_condition(
+        self, u0: Sequence, p0: Optional[np.ndarray] = None, t0: float = 0.0
+    ) -> None:
+        """Set velocity (callables or arrays) and optional pressure at t0."""
+        fields = []
+        for comp in u0:
+            if callable(comp):
+                fields.append(self.mesh.eval_function(comp))
+            else:
+                arr = np.asarray(comp, dtype=float)
+                if arr.shape != self.mesh.local_shape:
+                    raise ValueError(
+                        f"initial field shape {arr.shape} != {self.mesh.local_shape}"
+                    )
+                fields.append(arr.copy())
+        self.u = [self.assembler.dsavg(f) for f in fields]
+        self.u = self.bc.apply_to(self.u, t0)
+        if p0 is not None:
+            self.p = np.asarray(p0, dtype=float).copy()
+        self.t = float(t0)
+        self.step_count = 0
+        self._u_hist = []
+        self._t_hist = []
+        self._conv_hist = []
+        if self.projector is not None:
+            self.projector.reset()
+
+    def cfl(self) -> float:
+        """Current convective CFL number."""
+        return courant_number(self.mesh, self.geom, self.u, self.dt)
+
+    def change_dt(self, new_dt: float) -> None:
+        """Change the timestep size.
+
+        The constant-step BDF history becomes inconsistent, so the scheme
+        restarts from first order (one step) exactly as at t = 0; the
+        Helmholtz operators (whose ``h0 = beta0/dt``) are rebuilt lazily.
+        Production-style CFL control: monitor :meth:`cfl` and rescale.
+        """
+        if new_dt <= 0:
+            raise ValueError(f"need dt > 0, got {new_dt}")
+        if new_dt == self.dt:
+            return
+        self.dt = float(new_dt)
+        self._helmholtz.clear()
+        self._helmholtz_diag.clear()
+        self._u_hist = []
+        self._t_hist = []
+        self._conv_hist = []
+        self.step_count = 0  # restart the BDF order ramp
+
+    def advance_with_cfl_target(
+        self, n_steps: int, cfl_target: float, dt_max: Optional[float] = None,
+        adjust_every: int = 5, **kw
+    ) -> List[StepStats]:
+        """Advance while rescaling dt toward a target convective CFL.
+
+        Rescales at most every ``adjust_every`` steps and only on >20%
+        deviation (each change costs a first-order restart step).
+        """
+        out = []
+        for i in range(n_steps):
+            if i % adjust_every == 0:
+                c = self.cfl()
+                if c > 0:
+                    dt_new = self.dt * cfl_target / c
+                    if dt_max is not None:
+                        dt_new = min(dt_new, dt_max)
+                    if abs(dt_new - self.dt) > 0.2 * self.dt:
+                        self.change_dt(dt_new)
+            out.append(self.step(**kw))
+        return out
+
+    def kinetic_energy(self) -> float:
+        """``1/2 integral |u|^2`` over the domain."""
+        return 0.5 * sum(self.mass.integrate(np.asarray(c) ** 2) for c in self.u)
+
+    def divergence_norm(self) -> float:
+        """2-norm of the discrete divergence ``D u`` (pressure grid)."""
+        return float(np.linalg.norm(self.pop.apply_div(self.u).ravel()))
+
+    def vorticity(self) -> np.ndarray:
+        """Scalar vorticity (2-D only): ``dv/dx - du/dy``."""
+        if self.mesh.ndim != 2:
+            raise ValueError("scalar vorticity is 2-D only")
+        gu = self.conv.grad_phys(self.u[0])
+        gv = self.conv.grad_phys(self.u[1])
+        return self.assembler.dsavg(gv[0] - gu[1])
+
+    # ------------------------------------------------------------------ step
+    def step(self, extra_forcing: Optional[Sequence[np.ndarray]] = None) -> StepStats:
+        """Advance one timestep; returns the step's solver statistics.
+
+        ``extra_forcing`` (one field per component) supports couplings like
+        the Boussinesq buoyancy of the convection workloads.
+        """
+        import time as _time
+
+        wall0 = _time.perf_counter()
+        order = min(self.scheme, self.step_count + 1)
+        beta0, betas = BDF_COEFFS[order]
+        dt = self.dt
+        t_new = self.t + dt
+        nd = self.mesh.ndim
+        cfl = self.cfl()
+
+        # -- push current state into history ---------------------------------
+        self._u_hist.insert(0, [c.copy() for c in self.u])
+        self._t_hist.insert(0, self.t)
+        if self.convection_mode == "ext":
+            n_u = self.conv.advect_fields(self.u, self.u)
+            self._conv_hist.insert(0, [-f for f in n_u])
+        keep = max(self.scheme, 1)
+        del self._u_hist[keep:], self._t_hist[keep:], self._conv_hist[keep:]
+
+        # -- assemble the time-derivative + convection RHS --------------------
+        rhs_time = [np.zeros(self.mesh.local_shape) for _ in range(nd)]
+        if self.convection_mode == "oifs":
+            n_sub = max(1, int(np.ceil(max(cfl, 1e-12) / self.oifs_cfl_target)))
+            w_of_t = self._advecting_field_interpolant()
+            # Through-flow Dirichlet boundaries feed data along incoming
+            # characteristics during the sub-integration.
+            bfix = (lambda v, t: self.bc.apply_to(v, t)) if self.mask.n_constrained else None
+            for q, bq in enumerate(betas, start=1):
+                if q > len(self._u_hist):
+                    continue
+                u_tilde = self.conv.oifs_integrate(
+                    self._u_hist[q - 1], w_of_t, self._t_hist[q - 1], t_new,
+                    n_steps=n_sub * q, boundary_fix=bfix,
+                )
+                for c in range(nd):
+                    rhs_time[c] += (bq / dt) * u_tilde[c]
+        else:
+            for q, bq in enumerate(betas, start=1):
+                if q > len(self._u_hist):
+                    continue
+                for c in range(nd):
+                    rhs_time[c] += (bq / dt) * self._u_hist[q - 1][c]
+            if self.convection_mode == "ext":
+                exts = EXT_COEFFS[order]
+                for q, gq in enumerate(exts, start=1):
+                    if q > len(self._conv_hist):
+                        continue
+                    for c in range(nd):
+                        rhs_time[c] += gq * self._conv_hist[q - 1][c]
+
+        if self.coriolis is not None:
+            for q, gq in enumerate(EXT_COEFFS[order], start=1):
+                if q > len(self._u_hist):
+                    continue
+                cor = self._coriolis_term(self._u_hist[q - 1])
+                for c in range(nd):
+                    rhs_time[c] += gq * cor[c]
+
+        if self.forcing is not None:
+            fvals = self.forcing(*[np.asarray(x) for x in self.mesh.coords], t_new)
+            for c in range(nd):
+                rhs_time[c] = rhs_time[c] + np.broadcast_to(
+                    np.asarray(fvals[c], dtype=float), self.mesh.local_shape
+                )
+        if extra_forcing is not None:
+            for c in range(nd):
+                rhs_time[c] = rhs_time[c] + extra_forcing[c]
+
+        # -- velocity Helmholtz solves ----------------------------------------
+        grad_p = self.pop.apply_div_t(self.p)
+        u_bound = self.bc.lift(t_new)
+        u_star: List[np.ndarray] = []
+        h_iters: List[int] = []
+        for c in range(nd):
+            helm = self._helmholtz_for(order, c)
+            precond = JacobiPreconditioner(
+                self._helmholtz_diag[(order, self.axisymmetric and c == 1)]
+            )
+            rhs_local = self.mass.apply(rhs_time[c]) + grad_p[c] - helm.apply(u_bound[c])
+            b = self.mask.apply(self.assembler.dssum(rhs_local))
+            x0 = self.mask.apply(self.u[c] - u_bound[c])
+            res = pcg(
+                lambda v: self.mask.apply(self.assembler.dssum(helm.apply(v))),
+                b,
+                dot=self.assembler.dot,
+                precond=precond,
+                x0=x0,
+                tol=0.0,
+                rtol=self.helmholtz_tol,
+                maxiter=2000,
+            )
+            if not res.converged:
+                raise RuntimeError(
+                    f"velocity Helmholtz solve (component {c}) failed: {res}"
+                )
+            h_iters.append(res.iterations)
+            u_star.append(res.x + u_bound[c])
+
+        # -- pressure correction ----------------------------------------------
+        g = -(beta0 / dt) * self.pop.apply_div(u_star)
+        if self.pop.has_nullspace:
+            g = g - float(np.sum(g) / g.size)
+        g_norm = float(np.linalg.norm(g.ravel()))
+        tol = self.pressure_tol * max(g_norm, 1e-300)
+        if self.projector is not None:
+            dp0, g_pert = self.projector.start(g)
+        else:
+            dp0, g_pert = np.zeros_like(g), g
+        res_p = pcg(
+            self.pop.matvec,
+            g_pert,
+            dot=self.pop.dot,
+            precond=self.pressure_precond,
+            tol=tol,
+            maxiter=5000,
+        )
+        if not res_p.converged:
+            raise RuntimeError(f"pressure solve failed: {res_p}")
+        if self.projector is not None:
+            self.projector.finish(res_p.x, dp0 + res_p.x)
+        dp = dp0 + res_p.x
+        if self.pop.has_nullspace:
+            dp = dp - float(np.sum(dp) / dp.size)
+
+        # -- velocity update and filtering --------------------------------------
+        corr = self.pop.apply_binv(self.pop.apply_div_t(dp))
+        self.u = [u_star[c] + (dt / beta0) * corr[c] for c in range(nd)]
+        self.p = self.p + dp
+        if self.filter is not None:
+            self.u = [self.filter(c) for c in self.u]
+            self.u = self.bc.apply_to(self.u, t_new)
+        add_flops(2.0 * nd * self.u[0].size, "pointwise")
+
+        self.t = t_new
+        self.step_count += 1
+        stats = StepStats(
+            step=self.step_count,
+            time=self.t,
+            cfl=cfl,
+            pressure_iterations=res_p.iterations,
+            pressure_initial_residual=res_p.initial_residual_norm,
+            pressure_rhs_norm=g_norm,
+            helmholtz_iterations=h_iters,
+            divergence_norm=self.divergence_norm(),
+            wall_seconds=_time.perf_counter() - wall0,
+        )
+        self.stats.append(stats)
+        return stats
+
+    def advance(self, n_steps: int, **kw) -> List[StepStats]:
+        """Take ``n_steps`` timesteps."""
+        return [self.step(**kw) for _ in range(n_steps)]
+
+    def _coriolis_term(self, u: List[np.ndarray]) -> List[np.ndarray]:
+        """Coriolis acceleration ``-2 Omega x u``."""
+        if self.mesh.ndim == 2:
+            f = self.coriolis
+            return [2.0 * f * u[1], -2.0 * f * u[0]]
+        ox, oy, oz = self.coriolis
+        return [
+            -2.0 * (oy * u[2] - oz * u[1]),
+            -2.0 * (oz * u[0] - ox * u[2]),
+            -2.0 * (ox * u[1] - oy * u[0]),
+        ]
+
+    # ------------------------------------------------------------- internals
+    def _advecting_field_interpolant(self) -> Callable[[float], List[np.ndarray]]:
+        """Lagrange interpolation/extrapolation of the velocity history.
+
+        Supplies ``w(s)`` for the OIFS sub-integration: interpolating within
+        the known history window and extrapolating over the new interval
+        ``(t^{n-1}, t^n]`` — the operator-integration-factor construction.
+        """
+        fields = self._u_hist[: self.scheme]
+        times = self._t_hist[: self.scheme]
+        if len(fields) == 1:
+            w0 = fields[0]
+            return lambda s: w0
+
+        def w_of_t(s: float) -> List[np.ndarray]:
+            coeffs = []
+            for i, ti in enumerate(times):
+                c = 1.0
+                for j, tj in enumerate(times):
+                    if i != j:
+                        c *= (s - tj) / (ti - tj)
+                coeffs.append(c)
+            nd = self.mesh.ndim
+            return [
+                sum(coeffs[i] * fields[i][comp] for i in range(len(times)))
+                for comp in range(nd)
+            ]
+
+        return w_of_t

@@ -1,0 +1,179 @@
+"""Steady Stokes solver (Uzawa conjugate gradients).
+
+The unsteady path (Section 4) splits the Stokes operator per timestep; for
+creeping flows and for validating the discrete saddle-point system on its
+own, the classical Uzawa decoupling solves the steady problem
+
+    (1/Re) A u - D^T p = B f,      D u = 0
+
+exactly: eliminate the velocity to get the pressure Schur complement
+
+    S p = D A^{-1} (B f),    S = D A^{-1} D^T  (Re-scaled),
+
+solve it with (preconditioned) CG using *nested* velocity solves for each
+application of ``A^{-1}``, then recover ``u``.  The Schwarz/FDM machinery
+preconditions S exactly as it does E (both are consistent-Poisson-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.assembly import Assembler
+from ..core.element import geometric_factors
+from ..core.mesh import Mesh
+from ..core.operators import HelmholtzOperator, MassOperator
+from ..core.pressure import PressureOperator
+from ..solvers.cg import pcg
+from ..solvers.jacobi import JacobiPreconditioner
+from ..solvers.schwarz import SchwarzPreconditioner
+from .bcs import VelocityBC
+
+__all__ = ["StokesSolver", "StokesResult"]
+
+
+@dataclass
+class StokesResult:
+    u: List[np.ndarray]
+    p: np.ndarray
+    pressure_iterations: int
+    velocity_solves: int
+    divergence_norm: float
+    converged: bool
+
+
+class StokesSolver:
+    """Uzawa-CG solver for the steady Stokes problem.
+
+    Parameters
+    ----------
+    mesh:
+        The velocity mesh.
+    re:
+        Reynolds number (viscosity 1/Re; pure scaling for Stokes).
+    bc:
+        Velocity Dirichlet conditions (default no-slip everywhere).
+    pressure_variant:
+        Schwarz family for the Schur-complement preconditioner.
+    velocity_tol, pressure_tol:
+        Relative tolerances of the nested and outer iterations.  The inner
+        solves must be substantially tighter than the outer ones (inexact
+        Uzawa otherwise stalls CG).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        re: float = 1.0,
+        bc: Optional[VelocityBC] = None,
+        pressure_variant: str = "fdm",
+        velocity_tol: float = 1e-11,
+        pressure_tol: float = 1e-8,
+        maxiter: int = 400,
+    ):
+        self.mesh = mesh
+        self.re = float(re)
+        self.geom = geometric_factors(mesh)
+        self.assembler = Assembler.for_mesh(mesh)
+        self.bc = bc if bc is not None else VelocityBC.no_slip_all(mesh)
+        self.mask = self.bc.mask
+        self.mass = MassOperator(self.geom)
+        # Pure viscous operator (h0 = 0): A is singular only if nothing is
+        # constrained, which no-slip precludes.
+        self.visc = HelmholtzOperator(mesh, h1=1.0 / self.re, h0=0.0, geom=self.geom)
+        dia = self.assembler.dssum(self.visc.diagonal())
+        dia = self.mask.apply(dia) + self.mask.constrained.astype(float)
+        self._vel_precond = JacobiPreconditioner(dia)
+        self.pop = PressureOperator(
+            mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom
+        )
+        self.precond = SchwarzPreconditioner(mesh, self.pop, variant=pressure_variant)
+        self.velocity_tol = float(velocity_tol)
+        self.pressure_tol = float(pressure_tol)
+        self.maxiter = int(maxiter)
+        self.velocity_solves = 0
+
+    # ------------------------------------------------------------ internals
+    def _solve_velocity(self, rhs_local: np.ndarray, lift: np.ndarray) -> np.ndarray:
+        """One component solve ``(1/Re) A u = rhs`` with boundary lift."""
+        b = self.mask.apply(
+            self.assembler.dssum(rhs_local - self.visc.apply(lift))
+        )
+        res = pcg(
+            lambda v: self.mask.apply(self.assembler.dssum(self.visc.apply(v))),
+            b,
+            dot=self.assembler.dot,
+            precond=self._vel_precond,
+            tol=0.0,
+            rtol=self.velocity_tol,
+            maxiter=5000,
+        )
+        if not res.converged:
+            raise RuntimeError(f"Stokes velocity solve failed: {res}")
+        self.velocity_solves += 1
+        return res.x + lift
+
+    def _a_inv_dt(self, p: np.ndarray) -> List[np.ndarray]:
+        """``A^{-1} D^T p`` per component (homogeneous BCs)."""
+        grad = self.pop.apply_div_t(p)
+        zero = np.zeros(self.mesh.local_shape)
+        return [self._solve_velocity(g, zero) for g in grad]
+
+    def _schur(self, p: np.ndarray) -> np.ndarray:
+        """``S p = D A^{-1} D^T p`` with the nullspace projected out."""
+        out = self.pop.apply_div(self._a_inv_dt(p))
+        if self.pop.has_nullspace:
+            out = out - float(np.sum(out) / out.size)
+        return out
+
+    # ---------------------------------------------------------------- solve
+    def solve(self, forcing: Optional[Callable] = None) -> StokesResult:
+        """Solve the steady Stokes problem with body force ``f(x, y[, z])``."""
+        nd = self.mesh.ndim
+        lifts = self.bc.lift(0.0)
+        if forcing is not None:
+            fvals = forcing(*[np.asarray(c) for c in self.mesh.coords])
+            f_local = [
+                self.mass.apply(np.broadcast_to(np.asarray(fc, dtype=float),
+                                                self.mesh.local_shape))
+                for fc in fvals
+            ]
+        else:
+            f_local = [np.zeros(self.mesh.local_shape) for _ in range(nd)]
+
+        # u_f = A^{-1} B f (with the boundary data lifted here once).
+        u_f = [self._solve_velocity(f_local[c], lifts[c]) for c in range(nd)]
+        g = self.pop.apply_div(u_f)
+        if self.pop.has_nullspace:
+            g = g - float(np.sum(g) / g.size)
+        g_norm = float(np.linalg.norm(g.ravel()))
+        if g_norm < 1e-300:
+            p = self.pop.pressure_field()
+            return StokesResult(u_f, p, 0, self.velocity_solves, 0.0, True)
+
+        res_p = pcg(
+            self._schur,
+            g,
+            dot=self.pop.dot,
+            precond=self.precond,
+            tol=self.pressure_tol * g_norm,
+            maxiter=self.maxiter,
+        )
+        p = res_p.x
+        if self.pop.has_nullspace:
+            p = p - float(np.sum(p) / p.size)
+        # u = u_f - A^{-1} D^T p
+        corr = self._a_inv_dt(p)
+        u = [u_f[c] - corr[c] for c in range(nd)]
+        div = float(np.linalg.norm(self.pop.apply_div(u).ravel()))
+        return StokesResult(
+            u=u,
+            p=-p,  # sign convention: momentum reads  (1/Re) A u = B f + D^T p
+            pressure_iterations=res_p.iterations,
+            velocity_solves=self.velocity_solves,
+            divergence_norm=div,
+            converged=res_p.converged,
+        )

@@ -1,0 +1,7 @@
+"""Simulated message-passing substrate (paper Sections 5-7).
+
+Machine models, a virtual-clock SPMD communicator, the gs_init/gs_op
+gather-scatter kernel, recursive spectral bisection and nested dissection,
+the Fig. 6 coarse-solver comparison, and the Table 4 / Fig. 8 terascale
+performance model.
+"""

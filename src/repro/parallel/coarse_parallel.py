@@ -1,0 +1,153 @@
+"""Parallel coarse-grid solve strategies and their cost models (Fig. 6).
+
+The coarse problem ``x0 = A_0^{-1} b0`` has O(1) dofs per processor at
+scale, so it is communication-dominated and "a well-known source of
+difficulty on large distributed-memory architectures".  Fig. 6 compares,
+on 63x63 (n = 3969) and 127x127 (n = 16129) five-point Poisson problems:
+
+* **XXT** — the paper's contribution: ``x = X (X^T b)`` with columns of the
+  sparse factor distributed; fan-in/fan-out on a binary tree whose level-l
+  messages carry the dissection interface values.
+* **redundant banded LU** — every processor gathers the full RHS
+  (allgather) and back-solves its own banded factorization; zero solve
+  parallelism, communication = one allgather.
+* **row-distributed A^{-1}** — the explicit dense inverse, n/P rows per
+  processor: one allgather of b plus a 2 n^2 / P dense matvec.
+* **latency lower bound** — ``alpha * 2 log2 P`` (contention-free
+  fan-in/fan-out tree), the dashed curve in Fig. 6.
+
+The structural inputs (nnz(X), interface sizes) come from the *actual*
+factorization built by :class:`repro.solvers.xxt.XXTSolver` — the model
+only supplies alpha/beta/gamma.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..solvers.xxt import XXTSolver
+from .machine import Machine
+
+__all__ = [
+    "poisson_5pt",
+    "CoarseSolveModel",
+    "latency_lower_bound",
+]
+
+
+def poisson_5pt(nx: int, ny: int = None):
+    """Five-point Poisson matrix and grid coordinates (Fig. 6's operator)."""
+    ny = ny if ny is not None else nx
+    n = nx * ny
+    ii, jj = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    idx = lambda i, j: j * nx + i  # noqa: E731
+    rows, cols, vals = [], [], []
+    for j in range(ny):
+        for i in range(nx):
+            v = idx(i, j)
+            rows.append(v)
+            cols.append(v)
+            vals.append(4.0)
+            for di, dj in ((1, 0), (0, 1)):
+                if i + di < nx and j + dj < ny:
+                    w = idx(i + di, j + dj)
+                    rows += [v, w]
+                    cols += [w, v]
+                    vals += [-1.0, -1.0]
+    a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    coords = np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
+    return a, coords
+
+
+def latency_lower_bound(machine: Machine, p: int) -> float:
+    """The ``latency * 2 log2 P`` dashed curve of Fig. 6."""
+    if p <= 1:
+        return 0.0
+    return machine.alpha * 2.0 * math.ceil(math.log2(p))
+
+
+@dataclass
+class CoarseSolveModel:
+    """Per-solve time models for one coarse problem on one machine.
+
+    Parameters
+    ----------
+    a:
+        The coarse SPD matrix (used for structure: n, bandwidth, and the
+        actual XXT factorization).
+    coords:
+        Optional dof coordinates for the dissection.
+    machine:
+        alpha-beta-gamma model.
+    """
+
+    def __init__(self, a: sp.spmatrix, machine: Machine, coords=None, leaf_size: int = 16):
+        self.a = sp.csr_matrix(a)
+        self.n = self.a.shape[0]
+        self.machine = machine
+        self.xxt = XXTSolver(self.a, coords=coords, leaf_size=leaf_size)
+        # Banded profile for the redundant-LU model: natural-order bandwidth.
+        coo = self.a.tocoo()
+        self.bandwidth = int(np.max(np.abs(coo.row - coo.col)))
+
+    # ----------------------------------------------------------- strategies
+    def time_xxt(self, p: int) -> float:
+        """Distributed X X^T solve: two concurrent matvecs + tree exchange."""
+        m = self.machine
+        flops = 4.0 * self.xxt.nnz / max(p, 1)  # two sparse matvecs, split
+        t = flops / m.other_rate
+        if p > 1:
+            levels = math.ceil(math.log2(p))
+            sizes = self.xxt.level_interface_sizes(levels)
+            # Level l of the tree moves the interface of the merged regions;
+            # deepest tree levels correspond to the finest dissection levels.
+            per_level = sizes[:levels][::-1]
+            t += m.fan_in_out_time(per_level, p)
+        return t
+
+    def time_redundant_lu(self, p: int) -> float:
+        """Every rank gathers b (allgather) then back-solves its banded LU."""
+        m = self.machine
+        # Recursive-doubling allgather: log P stages, total n words received.
+        t = 0.0
+        if p > 1:
+            levels = math.ceil(math.log2(p))
+            t += levels * m.alpha + m.beta * self.n
+        # Two banded triangular solves, fully redundant.
+        t += (4.0 * self.n * self.bandwidth) / m.other_rate
+        return t
+
+    def time_distributed_ainv(self, p: int) -> float:
+        """Row-distributed dense inverse: allgather b + local dense matvec."""
+        m = self.machine
+        t = 0.0
+        if p > 1:
+            levels = math.ceil(math.log2(p))
+            t += levels * m.alpha + m.beta * self.n
+        rows = math.ceil(self.n / max(p, 1))
+        t += (2.0 * rows * self.n) / m.other_rate
+        return t
+
+    def time_latency_bound(self, p: int) -> float:
+        return latency_lower_bound(self.machine, p)
+
+    # ----------------------------------------------------------- the figure
+    def sweep(self, p_values: List[int]) -> Dict[str, np.ndarray]:
+        """Fig. 6 data: solve time vs P for every strategy."""
+        out = {
+            "P": np.asarray(p_values),
+            "xxt": np.array([self.time_xxt(p) for p in p_values]),
+            "redundant_lu": np.array([self.time_redundant_lu(p) for p in p_values]),
+            "distributed_ainv": np.array(
+                [self.time_distributed_ainv(p) for p in p_values]
+            ),
+            "latency_bound": np.array(
+                [self.time_latency_bound(p) for p in p_values]
+            ),
+        }
+        return out

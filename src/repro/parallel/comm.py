@@ -1,0 +1,144 @@
+"""Simulated SPMD communicator with virtual per-rank clocks.
+
+The paper's code follows "the standard message-passing-based SPMD model in
+which contiguous groups of elements are distributed to processors and
+computation proceeds in a loosely synchronous manner" (Section 6).  Here we
+reproduce that execution model *in cost space*: algorithms run rank by rank
+in one Python process, while a :class:`SimComm` advances one virtual clock
+per rank according to the machine's alpha-beta-gamma model.
+
+This is a faithful *critical-path* accountant, not a concurrency emulator:
+a receive completes at ``max(t_sender, t_receiver) + alpha + beta w``, a
+collective synchronizes every participant.  That is precisely the level of
+modeling the paper itself uses for its Fig. 6 lower-bound curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from .machine import Machine
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """Virtual-time communicator over ``P`` simulated ranks.
+
+    All methods cost virtual time only; data movement itself is the
+    caller's business (everything lives in one address space).  Typical use
+    wraps a real algorithm's communication structure::
+
+        comm = SimComm(machine, 1024)
+        comm.compute(rank, flops=..., mxm_fraction=0.95)
+        comm.exchange(rank_a, rank_b, n_words)
+        comm.allreduce(n_words)
+        elapsed = comm.elapsed()
+    """
+
+    def __init__(self, machine: Machine, p: int):
+        if p < 1:
+            raise ValueError(f"need at least one rank, got {p}")
+        self.machine = machine
+        self.p = p
+        self.clock = np.zeros(p)
+        #: accounting by category, seconds x rank
+        self.compute_time = np.zeros(p)
+        self.comm_time = np.zeros(p)
+        self.message_count = 0
+        self.message_words = 0.0
+
+    # ------------------------------------------------------------------ ops
+    def compute(self, rank: int, flops: float, mxm_fraction: float = 1.0) -> None:
+        """Charge local computation to one rank."""
+        dt = self.machine.compute_time(flops, mxm_fraction)
+        self.clock[rank] += dt
+        self.compute_time[rank] += dt
+
+    def compute_all(self, flops_per_rank, mxm_fraction: float = 1.0) -> None:
+        """Charge computation to every rank (scalar or per-rank array)."""
+        f = np.broadcast_to(np.asarray(flops_per_rank, dtype=float), (self.p,))
+        dt = np.array(
+            [self.machine.compute_time(fi, mxm_fraction) for fi in f]
+        )
+        self.clock += dt
+        self.compute_time += dt
+
+    def exchange(self, a: int, b: int, n_words: float) -> None:
+        """Pairwise (bidirectional) exchange of ``n_words`` between two ranks."""
+        t = max(self.clock[a], self.clock[b]) + self.machine.msg_time(n_words)
+        for r in (a, b):
+            self.comm_time[r] += t - self.clock[r]
+            self.clock[r] = t
+        self.message_count += 2
+        self.message_words += 2 * n_words
+
+    def send_recv(self, src: int, dst: int, n_words: float) -> None:
+        """One-directional message; receiver waits for the sender."""
+        t = max(self.clock[src], self.clock[dst]) + self.machine.msg_time(n_words)
+        self.comm_time[dst] += t - self.clock[dst]
+        self.clock[dst] = t
+        # sender is free after injecting (latency only)
+        self.clock[src] += self.machine.alpha
+        self.comm_time[src] += self.machine.alpha
+        self.message_count += 1
+        self.message_words += n_words
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (tree barrier latency)."""
+        t = float(self.clock.max())
+        if self.p > 1:
+            t += 2 * math.ceil(math.log2(self.p)) * self.machine.alpha
+        self.comm_time += t - self.clock
+        self.clock[:] = t
+
+    def allreduce(self, n_words: float) -> None:
+        """Recursive-doubling allreduce of ``n_words`` per rank."""
+        if self.p == 1:
+            return
+        t = float(self.clock.max()) + self.machine.allreduce_time(n_words, self.p)
+        self.comm_time += t - self.clock
+        self.clock[:] = t
+        levels = math.ceil(math.log2(self.p))
+        self.message_count += self.p * levels
+        self.message_words += self.p * levels * n_words
+
+    def fan_in_out(self, words_per_level) -> None:
+        """Binary-tree reduce + broadcast with per-level message sizes."""
+        if self.p == 1:
+            return
+        t = float(self.clock.max()) + self.machine.fan_in_out_time(
+            words_per_level, self.p
+        )
+        self.comm_time += t - self.clock
+        self.clock[:] = t
+
+    # ------------------------------------------------------------- reporting
+    def elapsed(self) -> float:
+        """Wall-clock of the simulated program so far (slowest rank)."""
+        return float(self.clock.max())
+
+    def imbalance(self) -> float:
+        """Max/mean clock ratio — load balance indicator."""
+        mean = float(self.clock.mean())
+        return float(self.clock.max()) / mean if mean > 0 else 1.0
+
+    def reset(self) -> None:
+        self.clock[:] = 0.0
+        self.compute_time[:] = 0.0
+        self.comm_time[:] = 0.0
+        self.message_count = 0
+        self.message_words = 0.0
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "elapsed": self.elapsed(),
+            "compute_max": float(self.compute_time.max()),
+            "comm_max": float(self.comm_time.max()),
+            "messages": float(self.message_count),
+            "words": float(self.message_words),
+            "imbalance": self.imbalance(),
+        }

@@ -1,0 +1,238 @@
+"""SPMD execution of the SEM conjugate-gradient solve on the simulated
+machine — the paper's Section 6 runtime structure, made executable.
+
+"Contiguous groups of elements are distributed to processors and
+computation proceeds in a loosely synchronous manner ... the principal
+communication kernel is the gather-scatter operation required for the
+residual vector assembly."
+
+:class:`DistributedSEMSolver` partitions a mesh's elements (recursive
+spectral bisection), builds the per-rank gather-scatter handle, and runs
+Jacobi-PCG where
+
+* each operator application is charged per-rank (its own element count),
+* each ``dssum`` goes through :meth:`GatherScatter.gs_op` with the pairwise
+  exchange pattern priced on the machine model,
+* each inner product costs an allreduce.
+
+The numerical results are bitwise-comparable to the serial solver (same
+arithmetic, same iterates); the virtual clocks yield speedup/efficiency
+curves for real (small) problems — the mechanism behind Table 4's
+communication terms, validated end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.assembly import Assembler, DirichletMask
+from ..core.element import GeomFactors, geometric_factors
+from ..core.mesh import Mesh
+from ..core.operators import HelmholtzOperator
+from ..perf.flops import add_flops
+from .comm import SimComm
+from .gs import GatherScatter, gs_init
+from .machine import Machine
+from .partition import recursive_spectral_bisection
+
+__all__ = ["DistributedSEMSolver", "DistributedSolveResult"]
+
+
+def _slice_geom(geom: GeomFactors, idx: np.ndarray) -> GeomFactors:
+    """Restrict geometric factors to a subset of elements."""
+    return GeomFactors(
+        ndim=geom.ndim,
+        jac=geom.jac[idx],
+        bm=geom.bm[idx],
+        dxi_dx=[[c[idx] for c in row] for row in geom.dxi_dx],
+        g=[g[idx] for g in geom.g],
+        wtensor=np.asarray(geom.wtensor)[idx],
+    )
+
+
+@dataclass
+class DistributedSolveResult:
+    """Outcome of one distributed solve."""
+
+    x: np.ndarray  # solution in the original element order
+    iterations: int
+    converged: bool
+    residual_norm: float
+    simulated_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    messages: int
+
+
+class DistributedSEMSolver:
+    """Jacobi-PCG for ``(h1 A + h0 B) u = f`` on P simulated ranks.
+
+    Parameters
+    ----------
+    mesh:
+        The (serial) mesh; elements are partitioned internally.
+    machine, p:
+        Cost model and rank count (power of two).
+    h1, h0:
+        Helmholtz coefficients (Poisson: ``h1=1, h0=0`` — note the pure
+        Neumann case is singular; supply Dirichlet sides).
+    dirichlet_sides:
+        Sides constrained to zero (``None`` = all sides).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        machine: Machine,
+        p: int,
+        h1: float = 1.0,
+        h0: float = 0.0,
+        dirichlet_sides: Optional[list] = None,
+    ):
+        self.mesh = mesh
+        self.machine = machine
+        self.p = p
+        geom = geometric_factors(mesh)
+        self.op = HelmholtzOperator(mesh, h1=h1, h0=h0, geom=geom)
+        mask_arr = (
+            mesh.boundary_mask(dirichlet_sides)
+            if (dirichlet_sides is None and mesh.boundary) or dirichlet_sides
+            else np.zeros(mesh.local_shape, dtype=bool)
+        )
+        self.mask = DirichletMask(mask_arr)
+
+        # Partition elements; remember the per-rank element lists.
+        if p == 1:
+            self.part = np.zeros(mesh.K, dtype=np.int64)
+        else:
+            adj = sp.csr_matrix(mesh.element_adjacency())
+            self.part = recursive_spectral_bisection(
+                adj, p, coords=mesh.element_centroids()
+            )
+        self.rank_elems: List[np.ndarray] = [
+            np.nonzero(self.part == r)[0] for r in range(p)
+        ]
+        if any(e.size == 0 for e in self.rank_elems):
+            raise ValueError("a rank received zero elements; reduce P")
+        # Per-rank operators over sliced geometric factors — each rank only
+        # ever touches its own elements' data, as in the SPMD original.
+        self._rank_ops = [
+            HelmholtzOperator(mesh, h1=h1, h0=h0, geom=_slice_geom(geom, e))
+            for e in self.rank_elems
+        ]
+        self.gs: GatherScatter = gs_init(
+            [mesh.global_ids[e] for e in self.rank_elems]
+        )
+        # Multiplicity weights for the unique-dof inner product.
+        ones = [np.ones(mesh.global_ids[e].shape) for e in self.rank_elems]
+        mult = self.gs.gs_op(ones, "+")
+        self._inv_mult = [1.0 / m for m in mult]
+
+        # Per-element flop cost of one operator application (Eq. 4 count).
+        n1 = mesh.n1
+        d = mesh.ndim
+        self._apply_flops_per_el = 4.0 * d * n1 ** (d + 1) + 15.0 * n1**d
+
+        # Assembled diagonal for Jacobi (serial precompute; shared setup).
+        a_serial = Assembler.for_mesh(mesh)
+        dia = a_serial.dssum(self.op.diagonal())
+        dia = self.mask.apply(dia) + self.mask.constrained.astype(float)
+        self._inv_dia = 1.0 / dia
+
+    # ------------------------------------------------------------ primitives
+    def _split(self, u: np.ndarray) -> List[np.ndarray]:
+        return [u[e] for e in self.rank_elems]
+
+    def _merge(self, parts: List[np.ndarray]) -> np.ndarray:
+        out = np.empty(self.mesh.local_shape)
+        for e, v in zip(self.rank_elems, parts):
+            out[e] = v
+        return out
+
+    def _matvec(self, parts: List[np.ndarray], comm: SimComm) -> List[np.ndarray]:
+        """Masked assembled operator, executed rank by rank with costs."""
+        out = []
+        for r, v in enumerate(parts):
+            w = self._rank_ops[r].apply(v)  # this rank's elements only
+            out.append(w)
+            comm.compute(
+                r, self._apply_flops_per_el * self.rank_elems[r].size,
+                mxm_fraction=0.95,
+            )
+        out = self.gs.gs_op(out, "+", comm=comm)
+        return [self._merge_mask(r, w) for r, w in enumerate(out)]
+
+    def _merge_mask(self, r: int, w: np.ndarray) -> np.ndarray:
+        # apply the (global) mask restricted to this rank's elements
+        m = self.mask.factor[self.rank_elems[r]]
+        return w * m
+
+    def _dot(self, a_parts, b_parts, comm: SimComm) -> float:
+        acc = 0.0
+        for r, (a, b) in enumerate(zip(a_parts, b_parts)):
+            acc += float(np.sum(a * b * self._inv_mult[r]))
+            comm.compute(r, 3.0 * a.size, mxm_fraction=0.0)
+        comm.allreduce(1)
+        return acc
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        f_local: np.ndarray,
+        tol: float = 1e-8,
+        maxiter: int = 2000,
+    ) -> DistributedSolveResult:
+        """Solve with RHS ``B f`` assembled from a local field (serial layout)."""
+        comm = SimComm(self.machine, self.p)
+        rhs = self.mask.apply(
+            Assembler.for_mesh(self.mesh).dssum(self.op.mass.apply(f_local))
+        )
+        b = self._split(rhs)
+
+        x = [np.zeros_like(v) for v in b]
+        r = [v.copy() for v in b]
+        inv_dia = self._split(self._inv_dia)
+        z = [ri * d for ri, d in zip(r, inv_dia)]
+        p_dir = [zi.copy() for zi in z]
+        rz = self._dot(r, z, comm)
+        norm_r = np.sqrt(max(self._dot(r, r, comm), 0.0))
+        it = 0
+        converged = norm_r <= tol
+        while not converged and it < maxiter:
+            ap = self._matvec(p_dir, comm)
+            pap = self._dot(p_dir, ap, comm)
+            if pap <= 0:
+                raise np.linalg.LinAlgError("distributed PCG breakdown")
+            alpha = rz / pap
+            for rr in range(self.p):
+                x[rr] += alpha * p_dir[rr]
+                r[rr] -= alpha * ap[rr]
+                comm.compute(rr, 4.0 * x[rr].size, mxm_fraction=0.0)
+            norm_r = np.sqrt(max(self._dot(r, r, comm), 0.0))
+            it += 1
+            if norm_r <= tol:
+                converged = True
+                break
+            z = [ri * d for ri, d in zip(r, inv_dia)]
+            rz_new = self._dot(r, z, comm)
+            beta = rz_new / rz
+            rz = rz_new
+            for rr in range(self.p):
+                p_dir[rr] = z[rr] + beta * p_dir[rr]
+                comm.compute(rr, 2.0 * z[rr].size, mxm_fraction=0.0)
+        rep = comm.report()
+        add_flops(0.0)  # keep the counter import warm for instrumented runs
+        return DistributedSolveResult(
+            x=self._merge(x),
+            iterations=it,
+            converged=converged,
+            residual_norm=float(norm_r),
+            simulated_seconds=rep["elapsed"],
+            compute_seconds=rep["compute_max"],
+            comm_seconds=rep["comm_max"],
+            messages=int(rep["messages"]),
+        )

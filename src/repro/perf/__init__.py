@@ -1,0 +1,2 @@
+"""Performance instrumentation: flop accounting and the Table 3 mxm
+kernel study."""

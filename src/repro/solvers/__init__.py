@@ -1,0 +1,6 @@
+"""Linear solvers (paper Section 5).
+
+PCG, Jacobi, additive overlapping Schwarz (FDM/FEM local solves), the
+vertex-mesh coarse grid, successive-RHS projection, and the XXT sparse
+coarse-grid factorization.
+"""

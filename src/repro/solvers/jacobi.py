@@ -1,0 +1,41 @@
+"""Jacobi (point-diagonal) preconditioning.
+
+The velocity Helmholtz systems of Section 4 are "diagonally dominant ...
+and readily treated via Jacobi-preconditioned conjugate gradients".  The
+preconditioner is the inverse of the *assembled* operator diagonal, which
+:class:`repro.core.operators.SEMSystem` computes exactly from the tensor
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.operators import SEMSystem
+from ..perf.flops import add_flops
+
+__all__ = ["JacobiPreconditioner", "jacobi_preconditioner"]
+
+
+class JacobiPreconditioner:
+    """Callable ``M^-1 r = r / diag(A)``."""
+
+    def __init__(self, diagonal: np.ndarray):
+        diagonal = np.asarray(diagonal, dtype=float)
+        if np.any(diagonal <= 0):
+            raise ValueError(
+                "Jacobi preconditioner needs a strictly positive diagonal; "
+                f"min entry {diagonal.min():.3e}"
+            )
+        self.inv_diagonal = 1.0 / diagonal
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        add_flops(r.size, "pointwise")
+        return self.inv_diagonal * r
+
+
+def jacobi_preconditioner(system: SEMSystem) -> Callable[[np.ndarray], np.ndarray]:
+    """Jacobi preconditioner from a system's assembled diagonal."""
+    return JacobiPreconditioner(system.diagonal())

@@ -1,0 +1,128 @@
+"""Projection onto previous solutions (Section 5; Fischer 1998, ref. [7]).
+
+When solving a sequence of systems ``A x^n = b^n`` whose solutions evolve
+smoothly in time (the pressure, above all), large savings come from first
+projecting onto the span of up to L ~ 25 previous solutions,
+
+    x_bar^n = argmin_{q in V} || x - q ||_A,   V = span{x^{n-1}, ..., x^{n-l}},
+
+and iterating only on the perturbation ``A dx = b - A x_bar``.  The
+perturbation magnitude is O(dt^l) + O(eps), so after a short transient the
+initial residual drops by orders of magnitude (Fig. 4) and iteration counts
+fall 2.5-5x.
+
+Implementation: the stored basis is kept A-orthonormal, so the projection
+is two inner products per basis vector and *no* extra matvecs; the only
+extra operator application is the single ``A x`` needed to A-orthonormalize
+each new solution — matching the paper's "two matrix-vector products in E
+per timestep" budget (one inside the residual evaluation, one here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf.flops import add_flops
+
+__all__ = ["SolutionProjector"]
+
+ArrayOp = Callable[[np.ndarray], np.ndarray]
+DotOp = Callable[[np.ndarray, np.ndarray], float]
+
+
+class SolutionProjector:
+    """A-orthonormal history window for successive right-hand sides.
+
+    Usage per timestep::
+
+        x0, b_pert = proj.start(b)          # projected guess + reduced RHS
+        result = pcg(matvec, b_pert, ...)   # iterate on the perturbation
+        x = x0 + result.x
+        proj.finish(result.x)               # fold the new solution in
+
+    Parameters
+    ----------
+    matvec, dot:
+        The system operator and inner product (must match the solver's).
+    max_vectors:
+        Window length L (paper: 1 <= l <= L ~ 25, Fig. 4 uses L = 26).
+        When the window fills, it is restarted from the most recent full
+        solution, as in the reference implementation.
+    """
+
+    def __init__(self, matvec: ArrayOp, dot: DotOp, max_vectors: int = 25):
+        if max_vectors < 1:
+            raise ValueError(f"max_vectors must be >= 1, got {max_vectors}")
+        self.matvec = matvec
+        self.dot = dot
+        self.max_vectors = max_vectors
+        self._basis: List[np.ndarray] = []  # A-orthonormal x-tilde vectors
+        self._a_basis: List[np.ndarray] = []  # A @ x-tilde (cached)
+        self._last_full: Optional[np.ndarray] = None  # most recent x^n
+        self.matvec_count = 0
+
+    def __len__(self) -> int:
+        return len(self._basis)
+
+    def reset(self) -> None:
+        """Drop all history."""
+        self._basis.clear()
+        self._a_basis.clear()
+        self._last_full = None
+
+    def start(self, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Project ``b`` onto the history: returns ``(x_bar, b - A x_bar)``.
+
+        With an A-orthonormal basis, ``x_bar = sum_i (x_i . b) x_i`` — the
+        A-norm-minimizing element of V — and the reduced RHS comes from the
+        cached ``A x_i`` without new matvecs.
+        """
+        if not self._basis:
+            return np.zeros_like(b), b.copy()
+        alphas = [self.dot(x, b) for x in self._basis]
+        x_bar = np.zeros_like(b)
+        b_pert = b.copy()
+        for a, x, ax in zip(alphas, self._basis, self._a_basis):
+            x_bar += a * x
+            b_pert -= a * ax
+        add_flops(4.0 * b.size * len(self._basis), "pointwise")
+        return x_bar, b_pert
+
+    def finish(self, dx: np.ndarray, x_full: Optional[np.ndarray] = None) -> None:
+        """Fold the solved perturbation into the window.
+
+        ``dx`` is the perturbation the iterative solver produced; it is
+        A-orthonormalized against the current basis and appended.  When the
+        window overflows it restarts from ``x_full`` (the complete new
+        solution) if given, else from ``dx``.
+        """
+        if len(self._basis) >= self.max_vectors:
+            restart = x_full if x_full is not None else dx
+            self.reset()
+            self._append(restart)
+            return
+        self._append(dx)
+
+    def _append(self, v: np.ndarray) -> None:
+        w = v.copy()
+        aw = self.matvec(w)
+        self.matvec_count += 1
+        nrm0 = self.dot(w, aw)
+        if nrm0 <= 0.0:
+            return  # zero (or numerically null) vector; nothing to add
+        # One round of classical Gram-Schmidt in the A inner product (the
+        # basis is A-orthonormal, and dx from CG is nearly A-orthogonal to V
+        # already, so a single pass suffices; guarded below).
+        for x, ax in zip(self._basis, self._a_basis):
+            c = self.dot(x, aw)
+            w -= c * x
+            aw -= c * ax
+        add_flops(5.0 * v.size * len(self._basis), "pointwise")
+        nrm2 = self.dot(w, aw)
+        if nrm2 <= 1e-24 * nrm0:
+            return  # linearly dependent contribution; skip
+        s = 1.0 / np.sqrt(nrm2)
+        self._basis.append(w * s)
+        self._a_basis.append(aw * s)

@@ -1,0 +1,6 @@
+"""The paper's evaluation workloads.
+
+Orr-Sommerfeld/TS-wave (Table 1), shear-layer roll-up (Fig. 3), the
+cylinder pressure problem (Table 2), buoyant convection (Fig. 4), and the
+hairpin-vortex surrogate (Figs. 7-8).
+"""

@@ -1,0 +1,161 @@
+"""Tests for Lagrange interpolation / differentiation matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import (
+    barycentric_weights,
+    derivative_matrix,
+    gl_to_gll_matrix,
+    gll_derivative_matrix,
+    gll_to_gl_matrix,
+    interpolation_matrix,
+    lagrange_eval,
+    mass_matrix_1d,
+    stiffness_matrix_1d,
+)
+from repro.core.quadrature import gauss_legendre, gauss_lobatto_legendre
+
+
+class TestLagrangeEval:
+    def test_cardinal_property(self):
+        x = gauss_lobatto_legendre(6)[0]
+        L = lagrange_eval(x, x)
+        assert np.allclose(L, np.eye(7), atol=1e-13)
+
+    def test_partition_of_unity(self):
+        x = gauss_lobatto_legendre(9)[0]
+        y = np.linspace(-1, 1, 33)
+        L = lagrange_eval(x, y)
+        assert np.allclose(L.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_reproduces_polynomials(self):
+        n = 8
+        x = gauss_lobatto_legendre(n)[0]
+        y = np.linspace(-1, 1, 17)
+        for deg in range(n + 1):
+            vals = x**deg
+            interp = lagrange_eval(x, y) @ vals
+            assert np.allclose(interp, y**deg, atol=1e-11)
+
+    def test_single_point_coincident(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        L = lagrange_eval(x, np.array([0.0]))
+        assert np.allclose(L, [[0, 1, 0]])
+
+    def test_barycentric_weights_three_points(self):
+        # Equispaced {-1,0,1}: w = [1/2, -1, 1/2]
+        w = barycentric_weights(np.array([-1.0, 0.0, 1.0]))
+        assert np.allclose(w, [0.5, -1.0, 0.5])
+
+
+class TestDerivativeMatrix:
+    @pytest.mark.parametrize("n", [2, 4, 7, 12, 15])
+    def test_differentiates_polynomials_exactly(self, n):
+        x = gauss_lobatto_legendre(n)[0]
+        D = derivative_matrix(x)
+        for deg in range(n + 1):
+            du = D @ x**deg
+            exact = deg * x ** (deg - 1) if deg > 0 else np.zeros_like(x)
+            assert np.allclose(du, exact, atol=1e-9)
+
+    def test_constant_maps_to_zero(self):
+        D = gll_derivative_matrix(10)
+        assert np.allclose(D @ np.ones(11), 0.0, atol=1e-12)
+
+    def test_gll_cache_returns_same_object(self):
+        assert gll_derivative_matrix(8) is gll_derivative_matrix(8)
+
+    def test_antisymmetry_structure(self):
+        # On a symmetric grid, D satisfies D[i,j] = -D[n-i, n-j].
+        D = gll_derivative_matrix(6)
+        assert np.allclose(D, -D[::-1, ::-1], atol=1e-12)
+
+    def test_row_sums_zero(self):
+        for n in (3, 9, 14):
+            D = gll_derivative_matrix(n)
+            assert np.allclose(D.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestGridTransfer:
+    @pytest.mark.parametrize("n", [3, 5, 9, 15])
+    def test_gll_to_gl_exact_on_polynomials(self, n):
+        m = n - 1
+        J = gll_to_gl_matrix(n, m)
+        assert J.shape == (m, n + 1)
+        xg = gauss_lobatto_legendre(n)[0]
+        xl = gauss_legendre(m)[0]
+        for deg in range(n + 1):
+            assert np.allclose(J @ xg**deg, xl**deg, atol=1e-11)
+
+    @pytest.mark.parametrize("m", [2, 4, 8, 14])
+    def test_gl_to_gll_exact_on_polynomials(self, m):
+        n = m + 1
+        J = gl_to_gll_matrix(m, n)
+        assert J.shape == (n + 1, m)
+        xl = gauss_legendre(m)[0]
+        xg = gauss_lobatto_legendre(n)[0]
+        for deg in range(m):
+            assert np.allclose(J @ xl**deg, xg**deg, atol=1e-11)
+
+    def test_round_trip_low_degree_preserved(self):
+        # GLL(n) -> GL(n-1) -> GLL(n) preserves polynomials of degree <= n-2.
+        n = 7
+        down = gll_to_gl_matrix(n, n - 1)
+        up = gl_to_gll_matrix(n - 1, n)
+        xg = gauss_lobatto_legendre(n)[0]
+        for deg in range(n - 1):
+            v = xg**deg
+            assert np.allclose(up @ (down @ v), v, atol=1e-10)
+
+
+class TestOneDimensionalOperators:
+    def test_mass_matrix_is_diagonal_of_weights(self):
+        n = 9
+        B = mass_matrix_1d(n)
+        _, w = gauss_lobatto_legendre(n)
+        assert np.allclose(B, np.diag(w))
+
+    @pytest.mark.parametrize("n", [2, 5, 8, 13])
+    def test_stiffness_symmetric_psd(self, n):
+        A = stiffness_matrix_1d(n)
+        assert np.allclose(A, A.T)
+        evals = np.linalg.eigvalsh(A)
+        assert evals[0] > -1e-12
+
+    def test_stiffness_nullspace_is_constants(self):
+        A = stiffness_matrix_1d(7)
+        assert np.allclose(A @ np.ones(8), 0.0, atol=1e-12)
+        evals = np.linalg.eigvalsh(A)
+        assert evals[1] > 1e-8  # only one zero eigenvalue
+
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_stiffness_energy_matches_exact_integral(self, n):
+        # u = x^2 on [-1,1]: integral of (u')^2 = integral 4x^2 = 8/3.
+        A = stiffness_matrix_1d(n)
+        x = gauss_lobatto_legendre(n)[0]
+        u = x**2
+        assert u @ A @ u == pytest.approx(8.0 / 3.0, rel=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_interpolation_then_derivative_consistency(n, seed):
+    """D on a fine grid of an interpolated polynomial equals interpolated derivative."""
+    rng = np.random.default_rng(seed)
+    coeffs = rng.standard_normal(n + 1)
+    x = gauss_lobatto_legendre(n)[0]
+    y = gauss_lobatto_legendre(n + 3)[0]
+    u = np.polyval(coeffs, x)
+    J = interpolation_matrix(x, y)
+    Dy = derivative_matrix(y)
+    Dx = derivative_matrix(x)
+    lhs = Dy @ (J @ u)
+    rhs = J @ (Dx @ u)
+    scale = 1.0 + np.max(np.abs(rhs))
+    assert np.allclose(lhs, rhs, atol=1e-8 * scale)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "SC'99" in out
+
+    def test_demo_validates(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Taylor-Green" in out
+        assert "rel err" in out
+
+    def test_fig4_short(self, capsys):
+        assert main(["fig4", "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "tail iteration ratio" in out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--size", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "XXT" in out and "bound" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "2048" in out
+
+    def test_table2_level0(self, capsys):
+        assert main(["table2", "--level", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "FDM" in out and "A0=0" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

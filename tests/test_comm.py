@@ -1,0 +1,82 @@
+"""Tests for the virtual-clock SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimComm
+from repro.parallel.machine import Machine
+
+M = Machine("t", alpha=1e-5, beta=1e-8, mxm_rate=1e8, other_rate=1e7)
+
+
+class TestSimComm:
+    def test_construction(self):
+        with pytest.raises(ValueError):
+            SimComm(M, 0)
+        c = SimComm(M, 4)
+        assert c.elapsed() == 0.0
+
+    def test_compute_advances_one_rank(self):
+        c = SimComm(M, 4)
+        c.compute(2, flops=1e8)
+        assert c.clock[2] == pytest.approx(1.0)
+        assert c.clock[0] == 0.0
+        assert c.elapsed() == pytest.approx(1.0)
+
+    def test_compute_all_broadcast_scalar(self):
+        c = SimComm(M, 3)
+        c.compute_all(1e7, mxm_fraction=0.0)
+        assert np.allclose(c.clock, 1.0)
+
+    def test_exchange_synchronizes_pair(self):
+        c = SimComm(M, 2)
+        c.compute(0, 1e8)  # rank 0 at t = 1
+        c.exchange(0, 1, 100)
+        expect = 1.0 + M.msg_time(100)
+        assert c.clock[0] == pytest.approx(expect)
+        assert c.clock[1] == pytest.approx(expect)
+        assert c.message_count == 2
+
+    def test_send_recv_frees_sender(self):
+        c = SimComm(M, 2)
+        c.send_recv(0, 1, 50)
+        assert c.clock[1] == pytest.approx(M.msg_time(50))
+        assert c.clock[0] == pytest.approx(M.alpha)
+
+    def test_barrier_synchronizes(self):
+        c = SimComm(M, 4)
+        c.compute(3, 1e8)
+        c.barrier()
+        assert np.all(c.clock == c.clock[0])
+        assert c.clock[0] > 1.0
+
+    def test_allreduce_costs_log_p(self):
+        c = SimComm(M, 8)
+        c.allreduce(10)
+        assert np.all(c.clock == c.clock[0])
+        assert c.clock[0] == pytest.approx(M.allreduce_time(10, 8))
+
+    def test_single_rank_allreduce_free(self):
+        c = SimComm(M, 1)
+        c.allreduce(1000)
+        assert c.elapsed() == 0.0
+
+    def test_report_and_reset(self):
+        c = SimComm(M, 2)
+        c.compute(0, 1e8)
+        c.exchange(0, 1, 10)
+        rep = c.report()
+        assert rep["elapsed"] > 0
+        assert rep["messages"] == 2
+        assert rep["imbalance"] >= 1.0
+        c.reset()
+        assert c.elapsed() == 0.0
+        assert c.message_count == 0
+
+    def test_comm_compute_accounting_split(self):
+        c = SimComm(M, 2)
+        c.compute(0, 1e8)
+        c.exchange(0, 1, 0)
+        # rank 1 waited a full second for rank 0 -> accounted as comm time.
+        assert c.compute_time[0] == pytest.approx(1.0)
+        assert c.comm_time[1] == pytest.approx(1.0 + M.alpha)

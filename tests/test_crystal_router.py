@@ -1,0 +1,90 @@
+"""Tests for the crystal-router message transport."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.crystal_router import CrystalRouter, Message, route_compare_direct
+from repro.parallel.machine import Machine
+
+M = Machine("t", alpha=1e-5, beta=1e-8, mxm_rate=1e8, other_rate=1e7)
+
+
+def msg(src, dest, vals):
+    return Message(src, dest, np.asarray(vals, dtype=float))
+
+
+class TestRouting:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            CrystalRouter(M, 6)
+
+    def test_single_rank_trivial(self):
+        r = CrystalRouter(M, 1)
+        rep = r.route([msg(0, 0, [1, 2])])
+        assert rep.rounds == 0
+        assert np.allclose(rep.delivered[(0, 0)][0], [1, 2])
+
+    def test_all_messages_delivered_p8(self):
+        rng = np.random.default_rng(0)
+        msgs = []
+        for src in range(8):
+            for dest in range(8):
+                if src != dest and rng.random() < 0.6:
+                    msgs.append(msg(src, dest, rng.standard_normal(rng.integers(1, 9))))
+        rep = CrystalRouter(M, 8).route(msgs)
+        assert rep.rounds == 3
+        sent = {(m.src, m.dest): m.payload for m in msgs}
+        for key, payloads in rep.delivered.items():
+            assert key in sent
+        # every sent message arrives exactly once with intact payload
+        arrived = {k: v for k, v in rep.delivered.items()}
+        for m in msgs:
+            got = arrived[(m.src, m.dest)]
+            assert any(np.array_equal(p, m.payload) for p in got)
+
+    def test_message_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CrystalRouter(M, 4).route([msg(0, 7, [1.0])])
+
+    def test_log_p_hop_bound(self):
+        """Time is bounded by log2(P) exchange rounds, independent of the
+        number of distinct destination pairs."""
+        p = 16
+        msgs = [msg(s, d, [float(s)]) for s in range(p) for d in range(p) if s != d]
+        rep = CrystalRouter(M, p).route(msgs)
+        assert rep.rounds == 4
+        assert all(w > 0 for w in rep.per_round_words)
+
+    def test_traffic_conservation_single_message(self):
+        """One message travels exactly popcount(src ^ dest) hops."""
+        p = 8
+        rep = CrystalRouter(M, p).route([msg(1, 6, [1.0, 2.0])])
+        hops = bin(1 ^ 6).count("1")
+        carried = sum(1 for w in rep.per_round_words if w > 0)
+        assert carried == hops
+
+
+class TestCompareDirect:
+    def test_router_wins_for_scattered_small_messages(self):
+        """Latency-dominated regime: many tiny messages -> the router's
+        log P rounds beat per-pair direct sends."""
+        lat_heavy = Machine("lat", alpha=1e-4, beta=1e-9, mxm_rate=1e8, other_rate=1e7)
+        p = 16
+        msgs = [msg(s, d, [1.0]) for s in range(p) for d in range(p) if s != d]
+        cmp = route_compare_direct(lat_heavy, p, msgs)
+        assert cmp["crystal_seconds"] < cmp["direct_seconds"]
+        assert cmp["direct_messages"] == p * (p - 1)
+
+    def test_direct_wins_for_few_large_messages(self):
+        """Bandwidth-dominated regime: one huge nearest-neighbor message
+        should not be dragged through log P hops."""
+        bw_heavy = Machine("bw", alpha=1e-7, beta=1e-6, mxm_rate=1e8, other_rate=1e7)
+        msgs = [msg(0, 3, np.ones(10000))]
+        cmp = route_compare_direct(bw_heavy, 8, msgs)
+        assert cmp["direct_seconds"] < cmp["crystal_seconds"]
+
+    def test_report_fields(self):
+        cmp = route_compare_direct(M, 4, [msg(0, 3, [1.0, 2.0])])
+        assert set(cmp) == {"crystal_seconds", "direct_seconds", "crystal_rounds",
+                            "direct_messages", "crystal_total_words"}
+        assert cmp["crystal_rounds"] == 2

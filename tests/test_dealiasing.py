@@ -1,0 +1,166 @@
+"""Tests for the over-integrated (dealiased) convection operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import Assembler
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
+from repro.ns.bcs import VelocityBC
+from repro.ns.convection import Convection, DealiasedConvection
+from repro.ns.navier_stokes import NavierStokesSolver
+
+
+def make_pair(mesh):
+    geom = geometric_factors(mesh)
+    asm = Assembler.for_mesh(mesh)
+    return Convection(mesh, geom, asm), DealiasedConvection(mesh, geom, asm), geom
+
+
+class TestOperator:
+    def test_agrees_with_collocated_on_low_degree(self):
+        # w and v polynomials with product degree <= N: both forms are the
+        # exact (w . grad) v up to the mass-equivalent projection.
+        m = box_mesh_2d(2, 2, 8)
+        conv, dconv, _ = make_pair(m)
+        w = [m.eval_function(lambda x, y: x), m.eval_function(lambda x, y: -y)]
+        v = m.eval_function(lambda x, y: x * y)
+        a = conv.advect(w, v)
+        b = dconv.advect(w, v)
+        # (w.grad)v = x*y - y*x = 0? grad v = (y, x); w.grad v = xy - yx = 0.
+        assert np.allclose(a, 0.0, atol=1e-10)
+        assert np.allclose(b, 0.0, atol=1e-10)
+
+    def test_exact_on_polynomial_product(self):
+        m = box_mesh_2d(2, 2, 6)
+        conv, dconv, _ = make_pair(m)
+        w = [m.eval_function(lambda x, y: 1 + 0 * x), m.eval_function(lambda x, y: 0 * x)]
+        v = m.eval_function(lambda x, y: x**3)
+        exact = m.eval_function(lambda x, y: 3 * x**2)
+        assert np.allclose(conv.advect(w, v), exact, atol=1e-10)
+        assert np.allclose(dconv.advect(w, v), exact, atol=1e-9)
+
+    def test_skew_energy_conservation_improved(self):
+        """For a divergence-free w (periodic), integral v (w.grad) v = 0;
+        the dealiased weak form respects this far better than collocation
+        on an aliasing-prone field."""
+        L = 2 * np.pi
+        m = box_mesh_2d(3, 3, 7, x1=L, y1=L, periodic=(True, True))
+        conv, dconv, geom = make_pair(m)
+        w = [
+            m.eval_function(lambda x, y: np.sin(2 * x) * np.cos(3 * y)),
+            m.eval_function(lambda x, y: -(2.0 / 3.0) * np.cos(2 * x) * np.sin(3 * y)),
+        ]
+        v = m.eval_function(lambda x, y: np.cos(3 * x) * np.sin(2 * y))
+        bm = geom.bm
+        coll = abs(float(np.sum(bm * v * conv.advect(w, v))))
+        deal = abs(float(np.sum(bm * v * dconv.advect(w, v))))
+        assert deal < coll
+
+    def test_3d_runs_and_matches_on_linear(self):
+        m = box_mesh_3d(2, 1, 1, 4)
+        conv, dconv, _ = make_pair(m)
+        w = [m.eval_function(lambda x, y, z: np.ones_like(x))] + [
+            m.eval_function(lambda x, y, z: np.zeros_like(x)) for _ in range(2)
+        ]
+        v = m.eval_function(lambda x, y, z: x + 2 * y)
+        assert np.allclose(dconv.advect(w, v), 1.0, atol=1e-9)
+
+    def test_deformed_mesh(self):
+        m = map_mesh(box_mesh_2d(2, 2, 6), lambda x, y: (x + 0.1 * y * y, y))
+        conv, dconv, _ = make_pair(m)
+        w = [m.eval_function(lambda x, y: np.ones_like(x)),
+             m.eval_function(lambda x, y: np.zeros_like(x))]
+        v = np.asarray(m.coords[0]) ** 2
+        exact = 2 * np.asarray(m.coords[0])
+        assert np.allclose(dconv.advect(w, v), exact, atol=1e-8)
+
+    def test_too_coarse_fine_grid_rejected(self):
+        m = box_mesh_2d(2, 2, 5)
+        geom = geometric_factors(m)
+        asm = Assembler.for_mesh(m)
+        with pytest.raises(ValueError):
+            DealiasedConvection(m, geom, asm, fine_order=4)
+
+    def test_custom_fine_order(self):
+        m = box_mesh_2d(2, 2, 5)
+        geom = geometric_factors(m)
+        asm = Assembler.for_mesh(m)
+        d = DealiasedConvection(m, geom, asm, fine_order=9)
+        assert d.m_fine == 9
+        assert d.jmat.shape == (9, 6)
+
+
+class TestSolverIntegration:
+    def test_dealiased_taylor_green(self):
+        L = 2 * np.pi
+        mesh = box_mesh_2d(4, 4, 7, x1=L, y1=L, periodic=(True, True))
+        sol = NavierStokesSolver(mesh, re=20.0, dt=0.02, bc=VelocityBC.none(mesh),
+                                 convection="ext", dealias=True)
+        sol.set_initial_condition([
+            lambda x, y: -np.cos(x) * np.sin(y),
+            lambda x, y: np.sin(x) * np.cos(y),
+        ])
+        nu = 1 / sol.re
+        sol.advance(10)
+        ue = -np.cos(mesh.coords[0]) * np.sin(mesh.coords[1]) * np.exp(-2 * nu * sol.t)
+        assert np.max(np.abs(sol.u[0] - ue)) < 1e-4
+        assert isinstance(sol.conv, DealiasedConvection)
+
+    def test_dealiasing_reduces_aliasing_floor(self):
+        """The N = 8 Taylor-Green aliasing error floor (measured at
+        ~1.7e-4 collocated at Re = 100) drops with over-integration."""
+        L = 2 * np.pi
+        errs = {}
+        for dealias in (False, True):
+            mesh = box_mesh_2d(4, 4, 8, x1=L, y1=L, periodic=(True, True))
+            sol = NavierStokesSolver(mesh, re=100.0, dt=0.05,
+                                     bc=VelocityBC.none(mesh),
+                                     convection="ext", dealias=dealias)
+            sol.set_initial_condition([
+                lambda x, y: -np.cos(x) * np.sin(y),
+                lambda x, y: np.sin(x) * np.cos(y),
+            ])
+            nu = 1 / sol.re
+            sol.advance(16)
+            ue = -np.cos(mesh.coords[0]) * np.sin(mesh.coords[1]) * np.exp(-2 * nu * sol.t)
+            errs[dealias] = float(np.max(np.abs(sol.u[0] - ue)))
+        # ~1.7e-4 -> ~1.0e-4 measured; the remainder is the (local-mass)
+        # projection of the weak form and the dt^2 splitting error.
+        assert errs[True] < 0.7 * errs[False]
+
+    def test_dealiased_oifs_runs(self):
+        L = 2 * np.pi
+        mesh = box_mesh_2d(3, 3, 6, x1=L, y1=L, periodic=(True, True))
+        sol = NavierStokesSolver(mesh, re=50.0, dt=0.1, bc=VelocityBC.none(mesh),
+                                 convection="oifs", dealias=True)
+        sol.set_initial_condition([
+            lambda x, y: -np.cos(x) * np.sin(y),
+            lambda x, y: np.sin(x) * np.cos(y),
+        ])
+        sol.advance(3)
+        assert np.isfinite(sol.kinetic_energy())
+
+
+class TestScalarDealiasing:
+    def test_scalar_transport_inherits_dealiased_operator(self):
+        from repro.core.mesh import box_mesh_2d
+        from repro.ns.bcs import VelocityBC
+        from repro.ns.convection import DealiasedConvection
+        from repro.ns.scalar import ScalarTransport
+
+        L = 2 * np.pi
+        mesh = box_mesh_2d(3, 3, 6, x1=L, y1=L, periodic=(True, True))
+        flow = NavierStokesSolver(mesh, re=50.0, dt=0.02, bc=VelocityBC.none(mesh),
+                                  convection="ext", dealias=True)
+        flow.set_initial_condition([
+            lambda x, y: np.sin(x) * np.cos(y),
+            lambda x, y: -np.cos(x) * np.sin(y),
+        ])
+        tr = ScalarTransport(flow, peclet=100.0)
+        tr.set_initial_condition(lambda x, y: np.cos(x) + 0 * y)
+        assert isinstance(flow.conv, DealiasedConvection)
+        for _ in range(3):
+            flow.step()
+            tr.step()
+        assert np.isfinite(tr.T).all()

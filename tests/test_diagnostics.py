@@ -1,0 +1,123 @@
+"""Tests for flow diagnostics: surface integrals, forces, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
+from repro.ns.diagnostics import FlowDiagnostics
+
+
+def make(mesh):
+    return FlowDiagnostics(mesh, geometric_factors(mesh)), mesh
+
+
+class TestVolume:
+    def test_kinetic_energy_uniform_flow(self):
+        diag, m = make(box_mesh_2d(2, 2, 4, x1=2.0, y1=3.0))
+        u = [np.full(m.local_shape, 2.0), np.full(m.local_shape, 1.0)]
+        assert diag.kinetic_energy(u) == pytest.approx(0.5 * 5.0 * 6.0)
+
+    def test_enstrophy_solid_rotation(self):
+        # u = (-y, x): omega = 2 everywhere -> enstrophy = 2 * area.
+        diag, m = make(box_mesh_2d(3, 3, 5))
+        u = [m.eval_function(lambda x, y: -y), m.eval_function(lambda x, y: x)]
+        assert diag.enstrophy(u) == pytest.approx(2.0, rel=1e-10)
+
+    def test_dissipation_linear_shear(self):
+        # u = (y, 0): |grad u|^2 = 1 -> dissipation = nu * area.
+        diag, m = make(box_mesh_2d(2, 2, 4))
+        u = [m.eval_function(lambda x, y: y), m.field()]
+        assert diag.dissipation(u, nu=0.1) == pytest.approx(0.1, rel=1e-12)
+
+    def test_enstrophy_3d(self):
+        m = box_mesh_3d(2, 1, 1, 3)
+        diag, _ = make(m)
+        u = [m.eval_function(lambda x, y, z: -y),
+             m.eval_function(lambda x, y, z: x),
+             m.field()]
+        assert diag.enstrophy(u) == pytest.approx(2.0, rel=1e-10)  # |w|=2, vol 1
+
+
+class TestSurface:
+    def test_area_of_sides(self):
+        diag, m = make(box_mesh_2d(3, 2, 4, x1=2.0, y1=3.0))
+        assert diag.area("xmin") == pytest.approx(3.0, rel=1e-12)
+        assert diag.area("ymax") == pytest.approx(2.0, rel=1e-12)
+
+    def test_area_3d(self):
+        diag, m = make(box_mesh_3d(2, 2, 1, 3, x1=2.0, y1=3.0, z1=4.0))
+        assert diag.area("zmin") == pytest.approx(6.0, rel=1e-12)
+        assert diag.area("xmax") == pytest.approx(12.0, rel=1e-12)
+
+    def test_deformed_side_length(self):
+        # Bottom wall mapped to y = 0.1 sin(pi x): length = int sqrt(1 + (0.1 pi cos)^2).
+        m = map_mesh(box_mesh_2d(4, 2, 8),
+                     lambda x, y: (x, y + 0.1 * np.sin(np.pi * x) * (1 - y)))
+        diag, _ = make(m)
+        from scipy.integrate import quad
+        exact, _ = quad(lambda x: np.sqrt(1 + (0.1 * np.pi * np.cos(np.pi * x)) ** 2), 0, 1)
+        assert diag.area("ymin") == pytest.approx(exact, rel=1e-8)
+
+    def test_unknown_side(self):
+        diag, _ = make(box_mesh_2d(2, 2, 3))
+        with pytest.raises(KeyError):
+            diag.area("zmin")
+
+    def test_mass_flux_uniform_flow(self):
+        diag, m = make(box_mesh_2d(2, 2, 4))
+        u = [np.full(m.local_shape, 3.0), m.field()]
+        assert diag.mass_flux(u, "xmax") == pytest.approx(3.0, rel=1e-12)
+        assert diag.mass_flux(u, "xmin") == pytest.approx(-3.0, rel=1e-12)
+        assert diag.mass_flux(u, "ymax") == pytest.approx(0.0, abs=1e-13)
+
+    def test_net_flux_of_divergence_free_field(self):
+        diag, m = make(box_mesh_2d(3, 3, 6))
+        u = [m.eval_function(lambda x, y: x), m.eval_function(lambda x, y: -y)]
+        net = sum(diag.mass_flux(u, s) for s in ("xmin", "xmax", "ymin", "ymax"))
+        assert abs(net) < 1e-12
+
+    def test_wall_shear_couette(self):
+        # u = (y, 0), nu = 0.2: wall shear = nu |du/dy| = 0.2 on both walls.
+        diag, m = make(box_mesh_2d(2, 2, 5))
+        u = [m.eval_function(lambda x, y: y), m.field()]
+        assert diag.wall_shear(u, "ymin", nu=0.2) == pytest.approx(0.2, rel=1e-10)
+        assert diag.wall_shear(u, "ymax", nu=0.2) == pytest.approx(0.2, rel=1e-10)
+
+    def test_pressure_force_hydrostatic(self):
+        # p = y on the velocity grid: force on ymin is -p*n = -(1*(0,-1))*p = (0, p).
+        diag, m = make(box_mesh_2d(2, 2, 4, x1=2.0))
+        u = [m.field(), m.field()]
+        p = m.eval_function(lambda x, y: y + 3.0)
+        f = diag.force(u, p, "ymin", nu=0.0)
+        # ymin: n = (0,-1), p = 3 there, area 2: F = -p n = (0, +6).
+        assert f[0] == pytest.approx(0.0, abs=1e-12)
+        assert f[1] == pytest.approx(6.0, rel=1e-12)
+
+    def test_poiseuille_drag_balances_forcing(self):
+        """Steady forced channel: wall drag equals body-force input."""
+        from repro.ns.bcs import VelocityBC
+        from repro.ns.navier_stokes import NavierStokesSolver
+
+        mesh = box_mesh_2d(2, 3, 6, x1=2.0, periodic=(True, False))
+        bc = VelocityBC(mesh, {"ymin": (0.0, 0.0), "ymax": (0.0, 0.0)})
+        re, fbody = 10.0, 1.0
+        sol = NavierStokesSolver(mesh, re=re, dt=0.1, bc=bc, convection="ext",
+                                 forcing=lambda x, y, t: (fbody * np.ones_like(x), 0 * x))
+        sol.advance(150)
+        diag = FlowDiagnostics(mesh, sol.geom)
+        nu = 1.0 / re
+        # total forcing = fbody * area = 2; drag = 2 walls * shear * length.
+        shear = diag.wall_shear(sol.u, "ymin", nu) + diag.wall_shear(sol.u, "ymax", nu)
+        assert shear * 2.0 == pytest.approx(fbody * 2.0, rel=1e-3)
+
+
+class TestBudget:
+    def test_energy_budget_keys(self):
+        diag, m = make(box_mesh_2d(2, 2, 4))
+        u = [m.eval_function(lambda x, y: y), m.field()]
+        b = diag.energy_budget(u, nu=0.1, forcing=[np.ones(m.local_shape), m.field()])
+        assert set(b) == {"kinetic_energy", "dissipation", "enstrophy", "forcing_power"}
+        assert b["dissipation"] == pytest.approx(0.1, rel=1e-10)
+        # forcing power = int u_x * 1 = int y = 0.5
+        assert b["forcing_power"] == pytest.approx(0.5, rel=1e-10)

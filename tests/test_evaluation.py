@@ -1,0 +1,151 @@
+"""Tests for arbitrary-point spectral field evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import FieldEvaluator
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
+
+
+class TestLocate:
+    def test_affine_mesh_points_found(self):
+        m = box_mesh_2d(3, 2, 4, x1=3.0, y1=2.0)
+        ev = FieldEvaluator(m)
+        locs = ev.locate([[0.5, 0.5], [2.9, 1.9], [1.0, 1.0]])
+        assert all(l is not None for l in locs)
+        k, xi = locs[0]
+        assert k == 0
+        assert np.all(np.abs(xi) <= 1.0)
+
+    def test_outside_point_returns_none(self):
+        m = box_mesh_2d(2, 2, 3)
+        ev = FieldEvaluator(m)
+        assert ev.locate([[2.0, 0.5]])[0] is None
+
+    def test_reference_coords_correct_affine(self):
+        m = box_mesh_2d(2, 1, 3, x1=2.0)  # elements [0,1] and [1,2]
+        ev = FieldEvaluator(m)
+        k, xi = ev.locate([[1.5, 0.25]])[0]
+        assert k == 1
+        assert xi[0] == pytest.approx(0.0, abs=1e-10)  # mid-element in x
+        assert xi[1] == pytest.approx(-0.5, abs=1e-10)
+
+    def test_deformed_mesh_inversion(self):
+        m = map_mesh(
+            box_mesh_2d(3, 3, 5),
+            lambda x, y: (x + 0.1 * np.sin(np.pi * y), y + 0.1 * np.sin(np.pi * x)),
+        )
+        ev = FieldEvaluator(m)
+        # Probe the (deformed) images of interior GLL nodes: must locate
+        # and invert back to the node's reference coordinates.
+        k = 4
+        pt = [m.coords[0][k, 2, 3], m.coords[1][k, 2, 3]]
+        loc = ev.locate([pt])[0]
+        assert loc is not None
+        from repro.core.quadrature import gll_points
+
+        xi = gll_points(5)
+        kk, ref = loc
+        assert kk == k
+        assert ref[0] == pytest.approx(xi[3], abs=1e-9)
+        assert ref[1] == pytest.approx(xi[2], abs=1e-9)
+
+
+class TestEvaluate:
+    def test_exact_on_polynomials(self):
+        m = box_mesh_2d(2, 2, 6)
+        ev = FieldEvaluator(m)
+        f = m.eval_function(lambda x, y: x**3 * y - 2 * y**2)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0.01, 0.99, (20, 2))
+        vals = ev.evaluate(f, pts)
+        exact = pts[:, 0] ** 3 * pts[:, 1] - 2 * pts[:, 1] ** 2
+        assert np.allclose(vals, exact, atol=1e-11)
+
+    def test_spectral_accuracy_smooth_field(self):
+        errs = []
+        for order in (4, 8):
+            m = box_mesh_2d(2, 2, order)
+            ev = FieldEvaluator(m)
+            f = m.eval_function(lambda x, y: np.sin(2 * np.pi * x) * np.cos(np.pi * y))
+            pts = np.array([[0.37, 0.81], [0.11, 0.52], [0.93, 0.29]])
+            exact = np.sin(2 * np.pi * pts[:, 0]) * np.cos(np.pi * pts[:, 1])
+            errs.append(np.max(np.abs(ev.evaluate(f, pts) - exact)))
+        assert errs[1] < 1e-3 * errs[0] + 1e-12
+
+    def test_deformed_evaluation(self):
+        m = map_mesh(box_mesh_2d(3, 3, 7), lambda x, y: (x + 0.1 * y * y, y))
+        ev = FieldEvaluator(m)
+        # field = physical x coordinate: interpolation must return the
+        # query point's own x.
+        f = np.asarray(m.coords[0]).copy()
+        pts = np.array([[0.5, 0.5], [0.73, 0.21], [1.02, 0.9]])
+        assert np.allclose(ev.evaluate(f, pts), pts[:, 0], atol=1e-10)
+
+    def test_3d_evaluation(self):
+        m = box_mesh_3d(2, 2, 2, 4)
+        ev = FieldEvaluator(m)
+        f = m.eval_function(lambda x, y, z: x * y * z + z**2)
+        pts = np.array([[0.3, 0.6, 0.9], [0.5, 0.5, 0.5]])
+        exact = pts[:, 0] * pts[:, 1] * pts[:, 2] + pts[:, 2] ** 2
+        assert np.allclose(ev.evaluate(f, pts), exact, atol=1e-10)
+
+    def test_outside_point_raises(self):
+        m = box_mesh_2d(2, 2, 3)
+        ev = FieldEvaluator(m)
+        with pytest.raises(ValueError):
+            ev.evaluate(m.field(), [[-1.0, 0.5]])
+
+    def test_sample_line(self):
+        m = box_mesh_2d(3, 3, 5)
+        ev = FieldEvaluator(m)
+        f = m.eval_function(lambda x, y: 2 * x + y)
+        s, vals = ev.sample_line(f, [0.0, 0.5], [1.0, 0.5], n=11)
+        assert s[0] == 0.0 and s[-1] == pytest.approx(1.0)
+        assert np.allclose(vals, 2 * np.linspace(0, 1, 11) + 0.5, atol=1e-10)
+
+
+class TestTransferField:
+    def test_refine_preserves_polynomial(self):
+        from repro.core.evaluation import transfer_field
+
+        coarse = box_mesh_2d(2, 2, 4)
+        fine = box_mesh_2d(3, 3, 7)
+        f = coarse.eval_function(lambda x, y: x**3 - 2 * x * y + y**2)
+        g = transfer_field(coarse, f, fine)
+        exact = fine.eval_function(lambda x, y: x**3 - 2 * x * y + y**2)
+        assert np.allclose(g, exact, atol=1e-10)
+
+    def test_round_trip_same_mesh(self):
+        from repro.core.evaluation import transfer_field
+
+        m = box_mesh_2d(2, 2, 5)
+        f = m.eval_function(lambda x, y: np.sin(x) * np.cos(y))
+        g = transfer_field(m, f, m)
+        assert np.allclose(g, f, atol=1e-10)
+
+    def test_restart_at_higher_order(self):
+        """Transfer a Navier-Stokes state to a finer mesh and keep stepping."""
+        from repro.core.evaluation import FieldEvaluator, transfer_field
+        from repro.ns.bcs import VelocityBC
+        from repro.ns.navier_stokes import NavierStokesSolver
+
+        L = 2 * np.pi
+        coarse = box_mesh_2d(3, 3, 5, x1=L, y1=L, periodic=(True, True))
+        sol = NavierStokesSolver(coarse, re=30.0, dt=0.05,
+                                 bc=VelocityBC.none(coarse), convection="ext")
+        sol.set_initial_condition([
+            lambda x, y: -np.cos(x) * np.sin(y),
+            lambda x, y: np.sin(x) * np.cos(y),
+        ])
+        sol.advance(4)
+        fine = box_mesh_2d(3, 3, 8, x1=L, y1=L, periodic=(True, True))
+        ev = FieldEvaluator(coarse)
+        u_new = [transfer_field(coarse, c, fine, evaluator=ev) for c in sol.u]
+        sol2 = NavierStokesSolver(fine, re=30.0, dt=0.05,
+                                  bc=VelocityBC.none(fine), convection="ext")
+        sol2.set_initial_condition(u_new, t0=sol.t)
+        ke_before = sol2.kinetic_energy()
+        assert ke_before == pytest.approx(sol.kinetic_energy(), rel=1e-4)
+        sol2.advance(3)
+        assert np.isfinite(sol2.kinetic_energy())

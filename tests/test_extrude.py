@@ -1,0 +1,94 @@
+"""Tests for 2-D -> 3-D mesh extrusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import Assembler
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, extrude_mesh, map_mesh
+
+
+class TestExtrudeBox:
+    def test_matches_box_mesh_3d(self):
+        m2 = box_mesh_2d(3, 2, 4, x1=2.0, y1=3.0)
+        m3 = extrude_mesh(m2, 2, z0=0.0, z1=5.0)
+        ref = box_mesh_3d(3, 2, 2, 4, x1=2.0, y1=3.0, z1=5.0)
+        assert m3.K == ref.K
+        assert m3.local_shape == ref.local_shape
+        assert m3.n_nodes == ref.n_nodes
+        assert m3.n_vertices == ref.n_vertices
+        for c in range(3):
+            assert np.allclose(m3.coords[c], ref.coords[c])
+        assert np.array_equal(m3.global_ids, ref.global_ids)
+
+    def test_boundary_sides(self):
+        m2 = box_mesh_2d(2, 2, 3)
+        m3 = extrude_mesh(m2, 2)
+        assert set(m3.boundary) == {"xmin", "xmax", "ymin", "ymax", "zmin", "zmax"}
+        ref = box_mesh_3d(2, 2, 2, 3)
+        for s in m3.boundary:
+            assert np.array_equal(m3.boundary[s], ref.boundary[s]), s
+
+    def test_periodic_extrusion(self):
+        m2 = box_mesh_2d(2, 2, 3, periodic=(True, False))
+        m3 = extrude_mesh(m2, 3, periodic_z=True)
+        assert m3.periodic == (True, False, True)
+        assert "zmin" not in m3.boundary and "ymin" in m3.boundary
+        ref = box_mesh_3d(2, 2, 3, 3, periodic=(True, False, True))
+        assert m3.n_nodes == ref.n_nodes
+
+    def test_invalid_inputs(self):
+        m2 = box_mesh_2d(2, 2, 3)
+        with pytest.raises(ValueError):
+            extrude_mesh(m2, 0)
+        with pytest.raises(ValueError):
+            extrude_mesh(m2, 1, periodic_z=True)
+        m3 = extrude_mesh(m2, 2)
+        with pytest.raises(ValueError):
+            extrude_mesh(m3, 2)
+
+
+class TestExtrudeDeformed:
+    def test_cross_section_deformation_preserved(self):
+        m2 = map_mesh(box_mesh_2d(3, 3, 4),
+                      lambda x, y: (x + 0.1 * np.sin(np.pi * y), y))
+        m3 = extrude_mesh(m2, 2)
+        # Every z-layer carries the exact deformed cross-section.
+        k2 = m2.K
+        for ez in range(2):
+            sl = slice(ez * k2, (ez + 1) * k2)
+            for l in range(m3.n1):
+                assert np.allclose(m3.coords[0][sl, l], m2.coords[0])
+                assert np.allclose(m3.coords[1][sl, l], m2.coords[1])
+
+    def test_geometry_and_assembly_valid(self):
+        m2 = map_mesh(box_mesh_2d(2, 2, 4),
+                      lambda x, y: (x + 0.08 * y * y, y + 0.08 * np.sin(np.pi * x)))
+        m3 = extrude_mesh(m2, 2, z_breaks=np.array([0.0, 0.3, 1.0]))
+        geom = geometric_factors(m3)
+        # volume = area(deformed cross-section) * 1 (shear maps preserve area?
+        # not this one — just check positivity and assembly consistency)
+        assert np.all(geom.jac > 0)
+        a = Assembler.for_mesh(m3)
+        u = a.scatter(np.random.default_rng(0).standard_normal(a.n_global))
+        assert a.is_continuous(u)
+
+    def test_poisson_solve_on_extruded_mesh(self):
+        from repro.core.operators import MassOperator, build_poisson_system
+        from repro.solvers.cg import pcg
+        from repro.solvers.jacobi import jacobi_preconditioner
+
+        m2 = box_mesh_2d(2, 2, 4)
+        m3 = extrude_mesh(m2, 2)
+        geom = geometric_factors(m3)
+        sys = build_poisson_system(m3, geom=geom)
+        mass = MassOperator(geom)
+        exact = m3.eval_function(
+            lambda x, y, z: np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+        )
+        f = 3 * np.pi**2 * exact
+        b = sys.rhs(mass.apply(f))
+        res = pcg(sys.matvec, b, dot=sys.dot, precond=jacobi_preconditioner(sys),
+                  tol=1e-11, maxiter=3000)
+        assert res.converged
+        assert np.max(np.abs(res.x - exact)) < 1e-3  # N=4: modest accuracy

@@ -1,0 +1,145 @@
+"""Tests for the fast diagonalization method local solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.fdm import FDMSolver, extend_grid, fem_mass_1d, fem_stiffness_1d
+
+
+class TestFEM1D:
+    def test_uniform_stiffness(self):
+        z = np.linspace(0, 1, 5)  # h = 0.25, 3 interior dofs
+        a = fem_stiffness_1d(z)
+        assert a.shape == (3, 3)
+        assert np.allclose(np.diag(a), 8.0)
+        assert np.allclose(np.diag(a, 1), -4.0)
+
+    def test_stiffness_spd(self):
+        z = np.array([0.0, 0.1, 0.15, 0.4, 1.0])
+        a = fem_stiffness_1d(z)
+        assert np.allclose(a, a.T)
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_stiffness_solves_poisson(self):
+        # -u'' = 1, u(0)=u(1)=0 -> u = x(1-x)/2; linear FEM is nodally exact.
+        n = 12
+        z = np.linspace(0, 1, n + 2)
+        a = fem_stiffness_1d(z)
+        h = 1.0 / (n + 1)
+        b = np.full(n, h)  # lumped load
+        u = np.linalg.solve(a, b)
+        exact = 0.5 * z[1:-1] * (1 - z[1:-1])
+        assert np.allclose(u, exact, atol=1e-10)
+
+    def test_mass_lumped_is_diagonal_positive(self):
+        z = np.array([0.0, 0.2, 0.5, 0.6, 1.0])
+        b = fem_mass_1d(z)
+        assert np.allclose(b, np.diag(np.diag(b)))
+        assert np.all(np.diag(b) > 0)
+
+    def test_mass_consistent_rowsum_equals_lumped(self):
+        z = np.sort(np.random.default_rng(0).uniform(0, 1, 7))
+        z = np.concatenate(([-0.1], z, [1.1]))
+        bl = fem_mass_1d(z, lumped=True)
+        bc = fem_mass_1d(z, lumped=False)
+        assert np.allclose(np.diag(bl), bc.sum(axis=1))
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            fem_stiffness_1d(np.array([0.0, 1.0]))
+
+    def test_decreasing_grid_rejected(self):
+        with pytest.raises(ValueError):
+            fem_stiffness_1d(np.array([0.0, 0.5, 0.4, 1.0]))
+
+
+class TestExtendGrid:
+    def test_default_mirror(self):
+        g = extend_grid(np.array([0.0, 0.1, 0.3]))
+        assert np.allclose(g, [-0.1, 0.0, 0.1, 0.3, 0.5])
+
+    def test_explicit_neighbors(self):
+        g = extend_grid(np.array([0.0, 1.0]), left=-0.5, right=1.7)
+        assert np.allclose(g, [-0.5, 0.0, 1.0, 1.7])
+
+    def test_bad_extension_raises(self):
+        with pytest.raises(ValueError):
+            extend_grid(np.array([0.0, 1.0]), left=0.5)
+
+
+class TestFDMSolver2D:
+    def make_solver(self, K=3, n=5, seed=0):
+        rng = np.random.default_rng(seed)
+        grids = []
+        for _ in range(K):
+            gs = []
+            for _ in range(2):
+                pts = np.cumsum(0.1 + rng.uniform(0, 0.2, n + 1))
+                gs.append(pts)
+            grids.append(gs)
+        return FDMSolver(grids), grids
+
+    def test_matches_dense_inverse(self):
+        solver, grids = self.make_solver()
+        for k in range(solver.K):
+            a = np.kron(
+                fem_mass_1d(grids[k][1]), fem_stiffness_1d(grids[k][0])
+            ) + np.kron(fem_stiffness_1d(grids[k][1]), fem_mass_1d(grids[k][0]))
+            inv = solver.dense_inverse(k)
+            assert np.allclose(inv @ a, np.eye(a.shape[0]), atol=1e-9)
+
+    def test_solve_matches_dense(self):
+        solver, _ = self.make_solver(K=4, n=6, seed=1)
+        rng = np.random.default_rng(2)
+        r = rng.standard_normal((4,) + solver.shape)
+        sol = solver.solve(r)
+        for k in range(4):
+            ref = solver.dense_inverse(k) @ r[k].ravel()
+            assert np.allclose(sol[k].ravel(), ref, atol=1e-9)
+
+    def test_shape_validation(self):
+        solver, _ = self.make_solver()
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros((3, 2, 2)))
+
+    def test_empty_grids_rejected(self):
+        with pytest.raises(ValueError):
+            FDMSolver([])
+
+
+class TestFDMSolver3D:
+    def test_solve_matches_dense_3d(self):
+        rng = np.random.default_rng(3)
+        K, n = 2, 3
+        grids = []
+        for _ in range(K):
+            grids.append(
+                [np.cumsum(0.1 + rng.uniform(0, 0.1, n + 1)) for _ in range(3)]
+            )
+        solver = FDMSolver(grids)
+        r = rng.standard_normal((K,) + solver.shape)
+        sol = solver.solve(r)
+        for k in range(K):
+            az = fem_stiffness_1d(grids[k][2])
+            ay = fem_stiffness_1d(grids[k][1])
+            ax = fem_stiffness_1d(grids[k][0])
+            bz = fem_mass_1d(grids[k][2])
+            by = fem_mass_1d(grids[k][1])
+            bx = fem_mass_1d(grids[k][0])
+            a = (
+                np.kron(np.kron(bz, by), ax)
+                + np.kron(np.kron(bz, ay), bx)
+                + np.kron(np.kron(az, by), bx)
+            )
+            ref = np.linalg.solve(a, r[k].ravel())
+            assert np.allclose(sol[k].ravel(), ref, atol=1e-8)
+
+    def test_symmetry_of_inverse(self):
+        rng = np.random.default_rng(4)
+        grids = [[np.cumsum(0.2 + rng.uniform(0, 0.1, 5)) for _ in range(3)]]
+        solver = FDMSolver(grids)
+        u = rng.standard_normal((1,) + solver.shape)
+        v = rng.standard_normal((1,) + solver.shape)
+        assert np.sum(v * solver.solve(u)) == pytest.approx(
+            np.sum(u * solver.solve(v)), rel=1e-10
+        )

@@ -1,0 +1,55 @@
+"""Tests for the alpha-beta-gamma machine models."""
+
+import math
+
+import pytest
+
+from repro.parallel.machine import (
+    ASCI_RED_333,
+    ASCI_RED_333_PERF,
+    GENERIC_CLUSTER,
+    Machine,
+)
+
+
+class TestMachine:
+    def test_message_time_composition(self):
+        m = Machine("t", alpha=1e-5, beta=1e-8, mxm_rate=1e8, other_rate=1e7)
+        assert m.msg_time(0) == pytest.approx(1e-5)
+        assert m.msg_time(1000) == pytest.approx(1e-5 + 1e-5)
+
+    def test_compute_time_mixes_rates(self):
+        m = Machine("t", alpha=0, beta=0, mxm_rate=2e8, other_rate=1e7)
+        assert m.compute_time(2e8, mxm_fraction=1.0) == pytest.approx(1.0)
+        assert m.compute_time(1e7, mxm_fraction=0.0) == pytest.approx(1.0)
+        mixed = m.compute_time(1e8, mxm_fraction=0.5)
+        assert mixed == pytest.approx(0.25 + 5.0)
+
+    def test_allreduce_scales_logarithmically(self):
+        m = ASCI_RED_333
+        t2 = m.allreduce_time(10, 2)
+        t1024 = m.allreduce_time(10, 1024)
+        assert t1024 == pytest.approx(10 * t2)
+        assert m.allreduce_time(10, 1) == 0.0
+
+    def test_fan_in_out_scalar_and_sequence(self):
+        m = Machine("t", alpha=1e-6, beta=0.0, mxm_rate=1e8, other_rate=1e7)
+        assert m.fan_in_out_time(0, 8) == pytest.approx(3 * 2 * 1e-6)
+        t = m.fan_in_out_time([5, 3, 1], 8)
+        assert t == pytest.approx(6e-6)  # beta = 0: only latency counts
+
+    def test_fan_in_out_short_sequence_padded(self):
+        m = Machine("t", alpha=0.0, beta=1.0, mxm_rate=1e8, other_rate=1e7)
+        # 2 levels specified, 3 needed: last repeated.
+        assert m.fan_in_out_time([4, 2], 8) == pytest.approx(2 * (4 + 2 + 2))
+
+    def test_dual_mode_efficiency(self):
+        d = ASCI_RED_333.dual()
+        assert d.mxm_rate == pytest.approx(2 * 0.82 * ASCI_RED_333.mxm_rate)
+        assert "dual" in d.name
+        # latency/bandwidth unchanged (internode network is the same)
+        assert d.alpha == ASCI_RED_333.alpha
+
+    def test_presets_ordering(self):
+        assert ASCI_RED_333_PERF.mxm_rate > ASCI_RED_333.mxm_rate
+        assert GENERIC_CLUSTER.mxm_rate > ASCI_RED_333.mxm_rate

@@ -1,0 +1,231 @@
+"""Tests for matrix-free SEM operators: exactness, symmetry, diagonals,
+and — the paper's headline property — spectral convergence of the Poisson
+solve under p-refinement (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import Assembler, DirichletMask
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
+from repro.core.operators import (
+    HelmholtzOperator,
+    LaplaceOperator,
+    MassOperator,
+    build_helmholtz_system,
+    build_poisson_system,
+)
+from repro.solvers.cg import pcg
+from repro.solvers.jacobi import jacobi_preconditioner
+
+
+def dense_operator(system):
+    """Materialize the assembled masked operator as a dense matrix over
+    *global* (unique) dofs.  Column j is matvec(scatter(e_j)); rows are read
+    off by de-duplicating the continuous result."""
+    a = system.assembler
+    cols = []
+    for j in range(a.n_global):
+        e = np.zeros(a.n_global)
+        e[j] = 1.0
+        w = system.matvec(a.scatter(e))
+        cols.append(a.gather(w * a._inv_mult))
+    return np.array(cols).T
+
+
+def free_dofs(system):
+    """Indices of unconstrained global dofs."""
+    a = system.assembler
+    constrained = a.gather(system.mask.constrained.astype(float)) > 0
+    return np.nonzero(~constrained)[0]
+
+
+class TestMass:
+    def test_integrates_polynomial_exactly(self):
+        m = box_mesh_2d(2, 3, 5, x1=2.0)
+        g = geometric_factors(m)
+        B = MassOperator(g)
+        f = m.eval_function(lambda x, y: x * x * y)  # int over [0,2]x[0,1] = 4/3
+        assert B.integrate(f) == pytest.approx(8.0 / 3.0 * 0.5, rel=1e-12)
+
+    def test_apply_is_diagonal_scaling(self):
+        m = box_mesh_2d(1, 1, 4)
+        g = geometric_factors(m)
+        B = MassOperator(g)
+        u = np.random.default_rng(0).standard_normal(m.local_shape)
+        assert np.allclose(B.apply(u), g.bm * u)
+        assert np.allclose(B.diagonal(), g.bm)
+
+
+class TestLaplaceLocal:
+    def test_annihilates_constants(self):
+        m = map_mesh(box_mesh_2d(2, 2, 5), lambda x, y: (x + 0.1 * y * y, y))
+        lap = LaplaceOperator(m)
+        assert np.allclose(lap.apply(np.ones(m.local_shape)), 0.0, atol=1e-12)
+
+    def test_energy_of_linear_field(self):
+        # u = x on [0,1]^2: integral |grad u|^2 = 1. Local energies sum correctly.
+        m = box_mesh_2d(3, 2, 4)
+        lap = LaplaceOperator(m)
+        u = m.eval_function(lambda x, y: x)
+        assert np.sum(u * lap.apply(u)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_energy_deformed(self):
+        # Energy of u = x^2 + y on sheared mesh equals analytic value on image.
+        m = map_mesh(box_mesh_2d(3, 3, 7), lambda x, y: (x, y + 0.2 * x))
+        lap = LaplaceOperator(m)
+        u = np.asarray(m.coords[0]) ** 2 + np.asarray(m.coords[1])
+        # grad u = (2x, 1): integral over sheared unit square (area 1, x in [0,1])
+        # of 4x^2 + 1 dx dy = 4/3 + 1.
+        assert np.sum(u * lap.apply(u)) == pytest.approx(4.0 / 3.0 + 1.0, rel=1e-10)
+
+    def test_symmetry_3d(self):
+        m = map_mesh(
+            box_mesh_3d(1, 1, 1, 3),
+            lambda x, y, z: (x + 0.1 * y * z, y, z + 0.1 * x),
+        )
+        lap = LaplaceOperator(m)
+        rng = np.random.default_rng(1)
+        u, v = rng.standard_normal((2,) + m.local_shape)
+        assert np.sum(v * lap.apply(u)) == pytest.approx(
+            np.sum(u * lap.apply(v)), rel=1e-11
+        )
+
+    @pytest.mark.parametrize("builder,args", [(box_mesh_2d, (2, 2)), (box_mesh_3d, (2, 1, 2))])
+    def test_diagonal_exact(self, builder, args):
+        m = builder(*args, 3)
+        sys = build_poisson_system(m)
+        a = sys.assembler
+        dense = dense_operator(sys)
+        dia_local = sys.diagonal()
+        dia_global = a.gather(dia_local * a._inv_mult)
+        free = free_dofs(sys)
+        assert np.allclose(np.diag(dense)[free], dia_global[free], atol=1e-10)
+
+    def test_diagonal_exact_deformed(self):
+        m = map_mesh(box_mesh_2d(2, 2, 4), lambda x, y: (x + 0.15 * np.sin(np.pi * y), y))
+        sys = build_poisson_system(m)
+        a = sys.assembler
+        dense = dense_operator(sys)
+        dia_global = a.gather(sys.diagonal() * a._inv_mult)
+        free = free_dofs(sys)
+        assert np.allclose(np.diag(dense)[free], dia_global[free], atol=1e-10)
+
+
+class TestAssembledSystem:
+    def test_assembled_matrix_symmetric_pd_on_free_dofs(self):
+        m = box_mesh_2d(2, 2, 3)
+        sys = build_poisson_system(m)
+        A = dense_operator(sys)
+        free = free_dofs(sys)
+        Af = A[np.ix_(free, free)]
+        assert np.allclose(Af, Af.T, atol=1e-10)
+        assert np.linalg.eigvalsh(0.5 * (Af + Af.T)).min() > 1e-10
+
+    def test_helmholtz_diagonal_matches_dense(self):
+        m = box_mesh_2d(2, 2, 3)
+        sys = build_helmholtz_system(m, h1=2.0, h0=5.0)
+        a = sys.assembler
+        A = dense_operator(sys)
+        free = free_dofs(sys)
+        dia_global = a.gather(sys.diagonal() * a._inv_mult)
+        assert np.allclose(np.diag(A)[free], dia_global[free], atol=1e-9)
+
+    def test_rhs_assembles_and_masks(self):
+        m = box_mesh_2d(2, 1, 3)
+        sys = build_poisson_system(m)
+        f = np.ones(m.local_shape)
+        r = sys.rhs(f)
+        assert np.all(r[sys.mask.constrained] == 0)
+        assert sys.assembler.is_continuous(r)
+
+
+def solve_poisson(mesh, u_exact, f_rhs):
+    """Solve -lap u = f with exact Dirichlet data via lifting."""
+    geom = geometric_factors(mesh)
+    sys = build_poisson_system(mesh, geom=geom)
+    B = MassOperator(geom)
+    ue = mesh.eval_function(u_exact)
+    f = mesh.eval_function(f_rhs)
+    # Lift boundary data: solve A u0 = B f - A ue_b with u0 = 0 on boundary.
+    ub = np.where(sys.mask.constrained, ue, 0.0)
+    lap = LaplaceOperator(mesh, geom)
+    b = sys.rhs(B.apply(f) - lap.apply(ub))
+    res = pcg(
+        sys.matvec,
+        b,
+        dot=sys.dot,
+        precond=jacobi_preconditioner(sys),
+        tol=1e-12,
+        maxiter=3000,
+    )
+    assert res.converged
+    u = res.x + ub
+    return float(np.max(np.abs(u - ue)))
+
+
+class TestPoissonConvergence:
+    def test_exact_for_resolved_polynomial(self):
+        # u = x^3 y is degree 3: exact at N >= 3 up to quadrature/solver tol.
+        m = box_mesh_2d(2, 2, 4)
+        err = solve_poisson(
+            m, lambda x, y: x**3 * y, lambda x, y: -6 * x * y
+        )
+        assert err < 1e-9
+
+    def test_spectral_convergence_2d(self):
+        # u = sin(pi x) sin(pi y); errors drop exponentially with N.
+        errs = []
+        for N in (2, 4, 6, 8):
+            m = box_mesh_2d(2, 2, N)
+            errs.append(
+                solve_poisson(
+                    m,
+                    lambda x, y: np.sin(np.pi * x) * np.sin(np.pi * y),
+                    lambda x, y: 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y),
+                )
+            )
+        assert errs[1] < errs[0] * 1e-1
+        assert errs[2] < errs[1] * 1e-2
+        assert errs[3] < 1e-7
+
+    def test_spectral_convergence_deformed(self):
+        errs = []
+        deform = lambda x, y: (x + 0.1 * np.sin(np.pi * x) * np.sin(np.pi * y), y + 0.1 * np.sin(np.pi * x) * np.sin(np.pi * y))  # noqa: E731
+        for N in (4, 8):
+            m = map_mesh(box_mesh_2d(2, 2, N), deform)
+            # Manufactured: pick u, compute f = -lap u analytically in physical coords.
+            u = lambda x, y: np.sin(np.pi * x) * np.sin(np.pi * y)  # noqa: E731
+            f = lambda x, y: 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)  # noqa: E731
+            errs.append(solve_poisson(m, u, f))
+        assert errs[1] < errs[0] * 5e-3  # ~3 orders of magnitude for N: 4 -> 8
+
+    def test_spectral_convergence_3d(self):
+        errs = []
+        for N in (2, 4, 6):
+            m = box_mesh_3d(2, 2, 2, N)
+            errs.append(
+                solve_poisson(
+                    m,
+                    lambda x, y, z: np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z),
+                    lambda x, y, z: 3
+                    * np.pi**2
+                    * np.sin(np.pi * x)
+                    * np.sin(np.pi * y)
+                    * np.sin(np.pi * z),
+                )
+            )
+        assert errs[2] < errs[0] * 1e-3
+
+    def test_helmholtz_manufactured(self):
+        # (A + B) u = rhs with u = cos(pi x) cos(pi y), pure Neumann (natural BC).
+        m = box_mesh_2d(3, 3, 8)
+        geom = geometric_factors(m)
+        sys = build_helmholtz_system(m, h1=1.0, h0=1.0, dirichlet_sides=[], geom=geom)
+        B = MassOperator(geom)
+        ue = m.eval_function(lambda x, y: np.cos(np.pi * x) * np.cos(np.pi * y))
+        f = (2 * np.pi**2 + 1.0) * ue
+        b = sys.rhs(B.apply(f))
+        res = pcg(sys.matvec, b, dot=sys.dot, precond=jacobi_preconditioner(sys), tol=1e-12, maxiter=2000)
+        assert res.converged
+        assert np.max(np.abs(res.x - ue)) < 1e-8

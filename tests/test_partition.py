@@ -1,0 +1,146 @@
+"""Tests for recursive spectral bisection and nested dissection."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.mesh import box_mesh_2d
+from repro.parallel.partition import (
+    fiedler_vector,
+    nested_dissection,
+    partition_statistics,
+    recursive_spectral_bisection,
+    spectral_bisect,
+)
+
+
+def path_graph(n):
+    rows = np.arange(n - 1)
+    cols = rows + 1
+    a = sp.csr_matrix((np.ones(n - 1), (rows, cols)), shape=(n, n))
+    return a + a.T
+
+
+def grid_graph(nx, ny):
+    n = nx * ny
+    rows, cols = [], []
+    for j in range(ny):
+        for i in range(nx):
+            v = j * nx + i
+            if i + 1 < nx:
+                rows.append(v)
+                cols.append(v + 1)
+            if j + 1 < ny:
+                rows.append(v)
+                cols.append(v + nx)
+    a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    return a + a.T
+
+
+class TestFiedler:
+    def test_path_graph_fiedler_monotone(self):
+        f = fiedler_vector(path_graph(20))
+        # Fiedler vector of a path is monotone (cosine profile).
+        d = np.diff(f)
+        assert np.all(d > 0) or np.all(d < 0)
+
+    def test_large_graph_lanczos_path(self):
+        f = fiedler_vector(grid_graph(12, 12))
+        assert f.shape == (144,)
+        assert abs(f.sum()) < 1e-6 * np.linalg.norm(f) * 12  # orthogonal to constants
+
+
+class TestBisection:
+    def test_path_graph_splits_in_middle(self):
+        a, b = spectral_bisect(path_graph(16))
+        assert sorted(np.concatenate([a, b]).tolist()) == list(range(16))
+        # halves are contiguous runs
+        assert set(a.tolist()) in ({*range(8)}, {*range(8, 16)})
+
+    def test_balanced_sizes(self):
+        a, b = spectral_bisect(grid_graph(6, 5))
+        assert abs(len(a) - len(b)) <= 1
+
+    def test_single_vertex(self):
+        a, b = spectral_bisect(path_graph(5), vertices=np.array([2]))
+        assert list(a) == [2] and len(b) == 0
+
+
+class TestRSB:
+    def test_partition_counts(self):
+        part = recursive_spectral_bisection(grid_graph(8, 8), 8)
+        sizes = np.bincount(part)
+        assert len(sizes) == 8
+        assert sizes.min() == sizes.max() == 8
+
+    def test_invalid_nparts(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(ValueError):
+            recursive_spectral_bisection(g, 3)
+        with pytest.raises(ValueError):
+            recursive_spectral_bisection(g, 32)
+
+    def test_parts_are_connected_blocks_on_grid(self):
+        # RSB on a grid should produce low edge-cut partitions: each part's
+        # internal adjacency should dominate its cut edges.
+        g = grid_graph(8, 8)
+        part = recursive_spectral_bisection(g, 4)
+        g = g.tocoo()
+        cut = sum(1 for r, c in zip(g.row, g.col) if part[r] != part[c]) / 2
+        assert cut <= 24  # perfect quadrant split cuts 16
+
+    def test_mesh_statistics(self):
+        m = box_mesh_2d(4, 4, 3)
+        part = recursive_spectral_bisection(sp.csr_matrix(m.element_adjacency()), 4)
+        stats = partition_statistics(m, part)
+        assert stats["n_parts"] == 4
+        assert stats["imbalance"] == pytest.approx(1.0)
+        assert stats["shared_vertices"] < m.n_vertices
+
+
+class TestNestedDissection:
+    def test_valid_permutation(self):
+        g = grid_graph(7, 7)
+        order, root = nested_dissection(g, leaf_size=4)
+        assert np.array_equal(np.sort(order), np.arange(49))
+
+    def test_separators_come_last(self):
+        g = grid_graph(8, 8)
+        order, root = nested_dissection(g, leaf_size=4)
+        # Top-level separator occupies the tail of the ordering.
+        sep = set(root.separator.tolist())
+        tail = set(order[-len(sep):].tolist())
+        assert tail == sep
+
+    def test_separator_actually_separates(self):
+        g = grid_graph(9, 9).tolil()
+        order, root = nested_dissection(sp.csr_matrix(g), leaf_size=4)
+        sep = root.separator
+        keep = np.setdiff1d(np.arange(81), sep)
+        sub = sp.csr_matrix(g)[np.ix_(keep, keep)]
+        ncomp, labels = sp.csgraph.connected_components(sub, directed=False)
+        assert ncomp >= 2
+
+    def test_interface_sizes_decrease_with_level(self):
+        g = grid_graph(16, 16)
+        order, root = nested_dissection(g, leaf_size=4)
+        # Collect max interface per level; should grow (smaller regions have
+        # perimeter comparable/smaller) — at least be bounded by O(sqrt n).
+        by_level = {}
+
+        def walk(n):
+            by_level.setdefault(n.level, []).append(n.interface_size)
+            for c in n.children:
+                walk(c)
+
+        walk(root)
+        assert by_level[0][0] == 0  # whole domain has empty interface
+        assert max(max(v) for v in by_level.values()) <= 4 * 16  # O(perimeter)
+
+    def test_leaf_cover(self):
+        g = grid_graph(6, 6)
+        order, root = nested_dissection(g, leaf_size=3)
+        leaves = root.leaves()
+        total = sum(l.vertices.size for l in leaves)
+        assert total <= 36
+        assert all(l.vertices.size <= 3 for l in leaves)

@@ -1,0 +1,122 @@
+"""Tests for flop accounting and the mxm kernel harness."""
+
+import numpy as np
+import pytest
+
+from repro.perf.flops import (
+    FlopCounter,
+    add_flops,
+    counting,
+    flop_report,
+    global_counter,
+    mxm_flops,
+    reset_flops,
+)
+from repro.perf.mxm import (
+    KERNELS,
+    TABLE3_SHAPES,
+    best_kernel_per_shape,
+    kernel_names,
+    measure_mflops,
+    mxm_python,
+    sweep_table3,
+)
+
+
+class TestFlopCounter:
+    def test_add_and_total(self):
+        fc = FlopCounter()
+        fc.add(100, "mxm")
+        fc.add(50, "dot")
+        assert fc.total() == 150
+        assert fc.fraction("mxm") == pytest.approx(2 / 3)
+
+    def test_empty_fraction(self):
+        assert FlopCounter().fraction("mxm") == 0.0
+
+    def test_reset(self):
+        fc = FlopCounter()
+        fc.add(1)
+        fc.reset()
+        assert fc.total() == 0
+
+    def test_report_format(self):
+        fc = FlopCounter()
+        fc.add(1000, "mxm")
+        rep = fc.report()
+        assert "mxm" in rep and "100.0%" in rep
+
+    def test_global_counting_context(self):
+        reset_flops()
+        with counting() as fc:
+            add_flops(42, "pointwise")
+        assert fc.counts["pointwise"] == 42
+        assert global_counter.counts["pointwise"] >= 42
+
+    def test_nested_counting(self):
+        with counting() as outer:
+            add_flops(10, "mxm")
+            with counting() as inner:
+                add_flops(5, "mxm")
+        assert inner.counts["mxm"] == 5
+        assert outer.counts["mxm"] == 15
+
+    def test_mxm_flops_convention(self):
+        assert mxm_flops(16, 14, 16) == 2 * 16 * 14 * 16
+
+    def test_flop_report_global(self):
+        add_flops(1, "mxm")
+        assert "total flops" in flop_report()
+
+    def test_mxm_dominates_in_real_solve(self):
+        """Section 6's claim: mxm is the dominant flop category in a solve."""
+        from repro.core.mesh import box_mesh_2d
+        from repro.core.operators import build_poisson_system
+        from repro.solvers.cg import pcg
+
+        m = box_mesh_2d(3, 3, 8)
+        sys = build_poisson_system(m)
+        b = sys.rhs(np.ones(m.local_shape))
+        with counting() as fc:
+            pcg(sys.matvec, b, dot=sys.dot, tol=1e-8, maxiter=300)
+        assert fc.fraction("mxm") > 0.5
+
+
+class TestMxmKernels:
+    @pytest.mark.parametrize("name", list(KERNELS))
+    def test_kernels_agree_with_matmul(self, name):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((5, 9))
+        assert np.allclose(KERNELS[name](a, b), a @ b, atol=1e-12)
+
+    def test_python_kernel_correct(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((3, 5))
+        assert np.allclose(mxm_python(a, b), a @ b)
+
+    def test_measure_mflops_positive(self):
+        mf = measure_mflops(KERNELS["matmul"], 16, 14, 16, min_time=0.01)
+        assert mf > 1.0  # any machine beats 1 MFLOPS
+
+    def test_sweep_structure(self):
+        shapes = [(8, 4, 8), (4, 8, 4)]
+        table = sweep_table3(shapes=shapes, min_time=0.005)
+        assert set(table) == set(shapes)
+        for row in table.values():
+            assert set(row) == set(kernel_names())
+            assert all(v > 0 for v in row.values())
+
+    def test_best_kernel_per_shape(self):
+        table = {
+            (1, 1, 1): {"a": 1.0, "b": 2.0},
+            (2, 2, 2): {"a": 5.0, "b": 2.0},
+        }
+        best = best_kernel_per_shape(table)
+        assert best == {(1, 1, 1): "b", (2, 2, 2): "a"}
+
+    def test_table3_shapes_match_paper(self):
+        assert len(TABLE3_SHAPES) == 10
+        assert (16, 16, 256) in TABLE3_SHAPES
+        assert (2, 14, 2) in TABLE3_SHAPES

@@ -1,0 +1,133 @@
+"""Tests for the Table 4 / Fig 8 terascale performance model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import ASCI_RED_333, ASCI_RED_333_PERF
+from repro.parallel.perf_model import (
+    SEMWorkModel,
+    Table4Row,
+    TerascaleModel,
+    fig8_iteration_profile,
+)
+
+
+class TestWorkModel:
+    def test_laplacian_matches_paper_formula(self):
+        # Eq. (4): "total work per element ... is 12 N^4 + 15 N^3" in terms
+        # of points per direction.
+        w = SEMWorkModel(15)
+        assert w.laplacian() == 12 * 16**4 + 15 * 16**3
+
+    def test_counts_positive_and_scale(self):
+        w7, w15 = SEMWorkModel(7), SEMWorkModel(15)
+        for name in ("laplacian", "helmholtz_apply", "div_apply", "e_apply",
+                     "fdm_local_solve", "filter_work"):
+            a, b = getattr(w7, name)(), getattr(w15, name)()
+            assert 0 < a < b
+        # quartic scaling dominates: ratio ~ (16/8)^4 = 16
+        assert w15.laplacian() / w7.laplacian() > 10
+
+    def test_e_apply_costs_more_than_laplacian(self):
+        w = SEMWorkModel(15)
+        assert w.e_apply() > w.laplacian()
+
+    def test_step_flops_composition(self):
+        w = SEMWorkModel(9)
+        fl = w.step_flops(K=100, pressure_iters=30, helmholtz_iters=[8, 8, 8])
+        assert fl["total"] == pytest.approx(
+            fl["pressure"] + fl["helmholtz"] + fl["other"]
+        )
+        assert fl["pressure"] > fl["helmholtz"]  # 30 E iters vs 24 H iters
+
+
+class TestIterationProfile:
+    def test_decaying_transient(self):
+        prof = fig8_iteration_profile(26)
+        assert len(prof) == 26
+        assert prof[0] > 2 * prof[-1]
+        assert all(a >= b for a, b in zip(prof, prof[1:]))
+        assert 30 <= prof[-1] <= 60  # "settles in at between 30 and 50"
+
+
+class TestTerascaleModel:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        model = TerascaleModel()
+        return model.table4({"std": ASCI_RED_333, "perf": ASCI_RED_333_PERF})
+
+    def test_row_count(self, rows):
+        assert len(rows) == 2 * 2 * 3  # kernels x mode x P
+
+    def get(self, rows, kernels, mode, p) -> Table4Row:
+        (r,) = [x for x in rows if (x.kernels, x.mode, x.P) == (kernels, mode, p)]
+        return r
+
+    def test_strong_scaling_near_linear(self, rows):
+        for kern in ("std", "perf"):
+            for mode in ("single", "dual"):
+                t512 = self.get(rows, kern, mode, 512).time_s
+                t2048 = self.get(rows, kern, mode, 2048).time_s
+                speedup = t512 / t2048
+                assert 3.0 < speedup <= 4.05  # paper: 3.9x both modes
+
+    def test_dual_mode_speedup_in_paper_range(self, rows):
+        for kern in ("std", "perf"):
+            for p in (512, 1024, 2048):
+                single = self.get(rows, kern, "single", p).time_s
+                dual = self.get(rows, kern, "dual", p).time_s
+                assert 1.3 < single / dual < 1.75  # paper: ~1.44-1.64
+
+    def test_perf_kernels_beat_std(self, rows):
+        for mode in ("single", "dual"):
+            for p in (512, 1024, 2048):
+                assert (
+                    self.get(rows, "perf", mode, p).gflops
+                    > self.get(rows, "std", mode, p).gflops
+                )
+
+    def test_headline_gflops_magnitude(self, rows):
+        """dual-perf at P=2048 lands near the paper's 319 GFLOPS."""
+        gf = self.get(rows, "perf", "dual", 2048).gflops
+        assert 250 < gf < 420
+
+    def test_coarse_fraction_small(self, rows):
+        """Paper: coarse grid is 4.0% of solution time in the worst case."""
+        worst = max(r.coarse_fraction for r in rows)
+        assert worst < 0.05
+
+    def test_gflops_consistency(self):
+        model = TerascaleModel()
+        bd = model.step_time(ASCI_RED_333, 1024, 40, [10, 10, 10])
+        assert bd["total"] == pytest.approx(
+            bd["compute"] + bd["gather_scatter"] + bd["allreduce"] + bd["coarse"]
+        )
+        assert bd["compute"] > 0.5 * bd["total"]  # compute-dominated regime
+
+    def test_gather_scatter_vanishes_serially(self):
+        model = TerascaleModel()
+        assert model.gather_scatter_time(ASCI_RED_333, 1) == 0.0
+        assert model.gather_scatter_time(ASCI_RED_333, 2048) > 0
+
+    def test_coarse_solve_time_scales_down_then_flattens(self):
+        model = TerascaleModel()
+        t = [model.coarse_solve_time(ASCI_RED_333, p) for p in (1, 64, 2048)]
+        assert t[1] < t[0]
+        # latency floor: going 64 -> 2048 cannot keep shrinking proportionally
+        assert t[2] > t[1] / 32
+
+
+class TestCoarseAinvComparison:
+    def test_ainv_coarse_costlier_than_xxt_at_scale(self):
+        """Paper: switching the coarse solve to the distributed inverse
+        would lift its share of solution time from 4% to 15%."""
+        model = TerascaleModel()
+        m = ASCI_RED_333.dual()
+        t_xxt = model.coarse_solve_time(m, 2048)
+        t_ainv = model.coarse_solve_time_ainv(m, 2048)
+        assert t_ainv > 2.0 * t_xxt
+
+    def test_ainv_serial_cost_is_dense_matvec(self):
+        model = TerascaleModel(coarse_n=1000)
+        t = model.coarse_solve_time_ainv(ASCI_RED_333, 1)
+        assert t == pytest.approx(2.0 * 1000 * 1000 / ASCI_RED_333.other_rate)

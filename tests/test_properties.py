@@ -1,0 +1,263 @@
+"""Cross-module property-based tests (hypothesis): structural invariants
+that must hold for arbitrary admissible inputs."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembly import Assembler
+from repro.core.element import geometric_factors
+from repro.core.filters import FieldFilter
+from repro.core.mesh import box_mesh_2d, map_mesh
+from repro.core.operators import LaplaceOperator, MassOperator
+from repro.core.pressure import PressureOperator
+from repro.ns.diagnostics import FlowDiagnostics
+from repro.solvers.cg import pcg
+from repro.solvers.xxt import XXTSolver
+
+
+def small_deformation(ax, ay, fx, fy):
+    def f(x, y):
+        return (
+            x + ax * np.sin(fx * np.pi * x) * np.sin(np.pi * y),
+            y + ay * np.sin(np.pi * x) * np.sin(fy * np.pi * y),
+        )
+    return f
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ax=st.floats(-0.08, 0.08),
+    ay=st.floats(-0.08, 0.08),
+    fx=st.integers(1, 3),
+    fy=st.integers(1, 3),
+    order=st.integers(3, 7),
+)
+def test_deformed_geometry_valid_and_operators_spd(ax, ay, fx, fy, order):
+    """Any small smooth deformation yields positive Jacobians, an SPD
+    Laplacian energy, and exact constant annihilation."""
+    # Keep the map a diffeomorphism: total gradient perturbation below 1.
+    assume(abs(ax) * fx * np.pi + abs(ay) * fy * np.pi < 0.8)
+    mesh = map_mesh(box_mesh_2d(2, 2, order), small_deformation(ax, ay, fx, fy))
+    try:
+        geom = geometric_factors(mesh)
+    except ValueError:
+        # The *discrete* Jacobian (differentiated interpolant) can dip
+        # non-positive at low order even for analytically safe maps;
+        # rejecting the draw is the correct behavior to exercise.
+        assume(False)
+    assert np.all(geom.jac > 0)
+    lap = LaplaceOperator(mesh, geom)
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal(mesh.local_shape)
+    assert float(np.sum(u * lap.apply(u))) >= -1e-10
+    assert np.allclose(lap.apply(np.ones(mesh.local_shape)), 0.0, atol=1e-10)
+    # Mass = deformed area: quadrature of J must equal integral of |J|.
+    assert float(np.sum(geom.bm)) > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.integers(4, 9),
+    alpha=st.floats(0.01, 1.0),
+    seed=st.integers(0, 10**6),
+)
+def test_filter_is_contraction_on_energy(order, alpha, seed):
+    """The filter never increases the (quadrature) L2 norm of a continuous
+    field beyond roundoff (its modal symbol is in [1-alpha, 1])."""
+    mesh = box_mesh_2d(2, 2, order)
+    geom = geometric_factors(mesh)
+    asm = Assembler.for_mesh(mesh)
+    filt = FieldFilter(mesh, alpha, asm)
+    rng = np.random.default_rng(seed)
+    u = asm.dsavg(rng.standard_normal(mesh.local_shape))
+    e0 = float(np.sum(geom.bm * u * u))
+    v = filt(u)
+    e1 = float(np.sum(geom.bm * v * v))
+    assert e1 <= e0 * (1.0 + 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nex=st.integers(2, 4),
+    ney=st.integers(2, 4),
+    order=st.integers(3, 6),
+    seed=st.integers(0, 10**6),
+)
+def test_divergence_theorem(nex, ney, order, seed):
+    """integral div u == boundary flux for any polynomial velocity field."""
+    mesh = box_mesh_2d(nex, ney, order)
+    geom = geometric_factors(mesh)
+    diag = FlowDiagnostics(mesh, geom)
+    rng = np.random.default_rng(seed)
+    cu = rng.standard_normal(3)
+    cv = rng.standard_normal(3)
+    u = [
+        mesh.eval_function(lambda x, y: cu[0] + cu[1] * x + cu[2] * x * y),
+        mesh.eval_function(lambda x, y: cv[0] + cv[1] * y + cv[2] * x * y),
+    ]
+    gu = diag.grad_phys(u[0])
+    gv = diag.grad_phys(u[1])
+    vol = diag.integrate(gu[0] + gv[1])
+    flux = sum(diag.mass_flux(u, s) for s in ("xmin", "xmax", "ymin", "ymax"))
+    assert vol == pytest.approx(flux, abs=1e-10 * (1 + abs(vol)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    seed=st.integers(0, 10**6),
+)
+def test_xxt_inverts_random_spd(n, seed):
+    rng = np.random.default_rng(seed)
+    m = sp.random(n, n, density=0.25, random_state=rng)
+    a = sp.csr_matrix(m @ m.T + sp.diags(np.full(n, n * 1.0)))
+    solver = XXTSolver(a, leaf_size=4)
+    assert solver.verify(a, n_samples=2, seed=seed) < 1e-8
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(5, 30),
+    cond=st.floats(1.0, 1e4),
+    seed=st.integers(0, 10**6),
+)
+def test_pcg_solves_any_spd_system(n, cond, seed):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    a = q @ np.diag(np.geomspace(1.0, cond, n)) @ q.T
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    res = pcg(lambda v: a @ v, b, tol=1e-12 * np.linalg.norm(b), maxiter=20 * n)
+    assert res.converged
+    assert np.linalg.norm(res.x - x_true) < 1e-6 * np.linalg.norm(x_true)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    order=st.integers(3, 6),
+    seed=st.integers(0, 10**6),
+)
+def test_pressure_operator_adjoint_random_mesh(order, seed):
+    """D and D^T stay exact adjoints under random smooth deformations."""
+    rng = np.random.default_rng(seed)
+    amp = rng.uniform(-0.06, 0.06, 2)
+    mesh = map_mesh(box_mesh_2d(2, 2, order), small_deformation(amp[0], amp[1], 1, 1))
+    pop = PressureOperator(mesh)
+    u = [rng.standard_normal(mesh.local_shape) for _ in range(2)]
+    p = rng.standard_normal(pop.p_shape)
+    lhs = float(np.sum(p * pop.apply_div(u)))
+    w = pop.apply_div_t(p)
+    rhs = sum(float(np.sum(u[c] * w[c])) for c in range(2))
+    assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    order=st.integers(2, 7),
+    seed=st.integers(0, 10**6),
+)
+def test_mass_integral_linearity_and_positivity(order, seed):
+    mesh = box_mesh_2d(3, 2, order, x1=1.5)
+    geom = geometric_factors(mesh)
+    mass = MassOperator(geom)
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal(mesh.local_shape)
+    g = rng.standard_normal(mesh.local_shape)
+    a, b = rng.standard_normal(2)
+    assert mass.integrate(a * f + b * g) == pytest.approx(
+        a * mass.integrate(f) + b * mass.integrate(g), rel=1e-10, abs=1e-10
+    )
+    assert mass.integrate(np.abs(f) + 0.1) > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_parts=st.sampled_from([2, 4]),
+    seed=st.integers(0, 10**6),
+    op=st.sampled_from(["+", "max", "min"]),
+)
+def test_gs_matches_serial_for_random_partitions(n_parts, seed, op):
+    """gs_op over any element partition reproduces the serial reduction."""
+    from repro.core.mesh import box_mesh_2d
+    from repro.parallel.gs import gs_init
+
+    mesh = box_mesh_2d(4, 3, 3)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, n_parts, mesh.K)
+    assume(len(np.unique(part)) == n_parts)
+    u = rng.standard_normal(mesh.local_shape)
+    asm = Assembler.for_mesh(mesh)
+    serial = {"+": asm.dssum, "max": asm.dsmax, "min": asm.dsmin}[op](u)
+    ids = [mesh.global_ids[part == p] for p in range(n_parts)]
+    vals = [u[part == p] for p in range(n_parts)]
+    out = gs_init(ids).gs_op(vals, op)
+    for p in range(n_parts):
+        assert np.allclose(out[p], serial[part == p])
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6), a=st.floats(-2, 2), b=st.floats(-2, 2))
+def test_oifs_advection_is_linear_in_the_field(seed, a, b):
+    """The sub-integrated advection operator is linear in the advected field."""
+    from repro.core.assembly import Assembler as Asm
+    from repro.ns.convection import Convection
+
+    mesh = box_mesh_2d(3, 1, 5, periodic=(True, False))
+    geom = geometric_factors(mesh)
+    conv = Convection(mesh, geom, Asm(mesh.global_ids))
+    rng = np.random.default_rng(seed)
+    w = [np.full(mesh.local_shape, 0.7), np.zeros(mesh.local_shape)]
+    v1 = Asm(mesh.global_ids).dsavg(rng.standard_normal(mesh.local_shape))
+    v2 = Asm(mesh.global_ids).dsavg(rng.standard_normal(mesh.local_shape))
+    w_of_t = lambda s: w  # noqa: E731
+    o_lin = conv.oifs_integrate([a * v1 + b * v2], w_of_t, 0, 0.02, 8)[0]
+    o1 = conv.oifs_integrate([v1], w_of_t, 0, 0.02, 8)[0]
+    o2 = conv.oifs_integrate([v2], w_of_t, 0, 0.02, 8)[0]
+    scale = 1 + np.max(np.abs(o_lin))
+    assert np.allclose(o_lin, a * o1 + b * o2, atol=1e-9 * scale)
+
+
+@settings(max_examples=6, deadline=None)
+@given(steps=st.integers(1, 5), seed=st.integers(0, 10**6))
+def test_checkpoint_roundtrip_arbitrary_state(steps, seed):
+    """Checkpoints restore velocity/pressure/history exactly after any
+    number of steps."""
+    import tempfile
+
+    from repro.core.io import load_checkpoint, save_checkpoint
+    from repro.ns.bcs import VelocityBC
+    from repro.ns.navier_stokes import NavierStokesSolver
+
+    L = 2 * np.pi
+    mesh = box_mesh_2d(2, 2, 5, x1=L, y1=L, periodic=(True, True))
+
+    def build():
+        s = NavierStokesSolver(mesh, re=20.0, dt=0.05, bc=VelocityBC.none(mesh),
+                               convection="ext", projection_window=4)
+        rng = np.random.default_rng(seed)
+        c = rng.uniform(0.5, 1.5)
+        s.set_initial_condition([
+            lambda x, y: -c * np.cos(x) * np.sin(y),
+            lambda x, y: c * np.sin(x) * np.cos(y),
+        ])
+        return s
+
+    a = build()
+    a.advance(steps)
+    with tempfile.TemporaryDirectory() as d:
+        ck = save_checkpoint(pathlib_join(d, "ck.npz"), a)
+        b = build()
+        load_checkpoint(ck, b)
+    assert b.t == a.t
+    for c in range(2):
+        assert np.array_equal(a.u[c], b.u[c])
+    assert np.array_equal(a.p, b.p)
+
+
+def pathlib_join(d, name):
+    import pathlib
+
+    return pathlib.Path(d) / name

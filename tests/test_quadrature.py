@@ -1,0 +1,168 @@
+"""Unit and property tests for the Gauss / Gauss-Lobatto-Legendre rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quadrature import (
+    gauss_legendre,
+    gauss_lobatto_legendre,
+    gl_points,
+    gl_weights,
+    gll_points,
+    gll_weights,
+    legendre,
+    legendre_deriv,
+)
+
+
+class TestLegendre:
+    def test_p0_p1_p2(self):
+        x = np.linspace(-1, 1, 7)
+        assert np.allclose(legendre(0, x), 1.0)
+        assert np.allclose(legendre(1, x), x)
+        assert np.allclose(legendre(2, x), 1.5 * x**2 - 0.5)
+
+    def test_p5_known_value(self):
+        # P_5(x) = (63x^5 - 70x^3 + 15x)/8
+        x = np.array([0.3, -0.7, 1.0])
+        exact = (63 * x**5 - 70 * x**3 + 15 * x) / 8
+        assert np.allclose(legendre(5, x), exact)
+
+    def test_endpoint_values(self):
+        for n in range(12):
+            assert legendre(n, np.array([1.0]))[0] == pytest.approx(1.0)
+            assert legendre(n, np.array([-1.0]))[0] == pytest.approx((-1.0) ** n)
+
+    def test_deriv_matches_finite_difference(self):
+        x = np.linspace(-0.9, 0.9, 11)
+        h = 1e-6
+        for n in (1, 3, 6, 10):
+            fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h)
+            assert np.allclose(legendre_deriv(n, x), fd, atol=1e-6)
+
+    def test_deriv_endpoints_closed_form(self):
+        for n in range(1, 10):
+            dp = legendre_deriv(n, np.array([-1.0, 1.0]))
+            assert dp[1] == pytest.approx(n * (n + 1) / 2)
+            assert dp[0] == pytest.approx((-1.0) ** (n - 1) * n * (n + 1) / 2)
+
+
+class TestGaussLegendre:
+    def test_two_point_rule(self):
+        x, w = gauss_legendre(2)
+        assert np.allclose(x, [-1 / np.sqrt(3), 1 / np.sqrt(3)])
+        assert np.allclose(w, [1.0, 1.0])
+
+    def test_weights_sum_to_two(self):
+        for m in range(1, 25):
+            _, w = gauss_legendre(m)
+            assert np.sum(w) == pytest.approx(2.0, abs=1e-13)
+
+    def test_points_interior_sorted_symmetric(self):
+        for m in range(1, 20):
+            x, w = gauss_legendre(m)
+            assert np.all(x > -1) and np.all(x < 1)
+            assert np.all(np.diff(x) > 0)
+            assert np.allclose(x, -x[::-1])
+            assert np.allclose(w, w[::-1])
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 13, 20])
+    def test_exactness_degree_2m_minus_1(self, m):
+        x, w = gauss_legendre(m)
+        for deg in range(2 * m):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.dot(w, x**deg) == pytest.approx(exact, abs=1e-12)
+
+    def test_not_exact_beyond_order(self):
+        m = 3
+        x, w = gauss_legendre(m)
+        deg = 2 * m  # degree 6: rule is exact only through degree 5
+        exact = 2.0 / (deg + 1)
+        assert abs(np.dot(w, x**deg) - exact) > 1e-6
+
+
+class TestGLL:
+    def test_order_one(self):
+        x, w = gauss_lobatto_legendre(1)
+        assert np.allclose(x, [-1, 1])
+        assert np.allclose(w, [1, 1])
+
+    def test_order_two(self):
+        x, w = gauss_lobatto_legendre(2)
+        assert np.allclose(x, [-1, 0, 1])
+        assert np.allclose(w, [1 / 3, 4 / 3, 1 / 3])
+
+    def test_order_three_known(self):
+        x, w = gauss_lobatto_legendre(3)
+        assert np.allclose(x, [-1, -1 / np.sqrt(5), 1 / np.sqrt(5), 1])
+        assert np.allclose(w, [1 / 6, 5 / 6, 5 / 6, 1 / 6])
+
+    def test_includes_endpoints(self):
+        for n in range(1, 20):
+            x, _ = gauss_lobatto_legendre(n)
+            assert x[0] == -1.0 and x[-1] == 1.0
+            assert len(x) == n + 1
+
+    def test_weights_sum_to_two(self):
+        for n in range(1, 25):
+            _, w = gauss_lobatto_legendre(n)
+            assert np.sum(w) == pytest.approx(2.0, abs=1e-13)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 11, 15, 19])
+    def test_exactness_degree_2n_minus_1(self, n):
+        x, w = gauss_lobatto_legendre(n)
+        for deg in range(2 * n):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.dot(w, x**deg) == pytest.approx(exact, abs=1e-12)
+
+    def test_interior_points_are_pn_prime_zeros(self):
+        for n in (4, 9, 15):
+            x, _ = gauss_lobatto_legendre(n)
+            assert np.max(np.abs(legendre_deriv(n, x[1:-1]))) < 1e-10
+
+    def test_symmetric(self):
+        for n in (2, 7, 16):
+            x, w = gauss_lobatto_legendre(n)
+            assert np.allclose(x, -x[::-1])
+            assert np.allclose(w, w[::-1])
+
+    def test_convenience_accessors(self):
+        assert np.array_equal(gll_points(7), gauss_lobatto_legendre(7)[0])
+        assert np.array_equal(gll_weights(7), gauss_lobatto_legendre(7)[1])
+        assert np.array_equal(gl_points(6), gauss_legendre(6)[0])
+        assert np.array_equal(gl_weights(6), gauss_legendre(6)[1])
+
+    def test_invalid_orders_raise(self):
+        with pytest.raises(ValueError):
+            gauss_lobatto_legendre(0)
+        with pytest.raises(ValueError):
+            gauss_legendre(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    coeffs=st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=8
+    ),
+)
+def test_gll_integrates_random_polynomials_exactly(n, coeffs):
+    """GLL(n) integrates any polynomial of degree <= 2n-1 exactly."""
+    deg = min(len(coeffs) - 1, 2 * n - 1)
+    c = np.array(coeffs[: deg + 1])
+    x, w = gauss_lobatto_legendre(n)
+    quad = np.dot(w, np.polyval(c[::-1], x))
+    powers = np.arange(deg + 1)
+    exact = np.sum(c * (1.0 - (-1.0) ** (powers + 1)) / (powers + 1))
+    assert quad == pytest.approx(exact, abs=1e-9 * (1 + abs(exact)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=st.integers(min_value=1, max_value=24))
+def test_gauss_points_interlace_gll(m):
+    """GL(m) points fall strictly inside the GLL interval end-gaps."""
+    xg, wg = gauss_legendre(m)
+    assert np.all(wg > 0)
+    assert np.all(np.abs(xg) < 1.0)

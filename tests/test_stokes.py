@@ -1,0 +1,102 @@
+"""Tests for the steady Stokes (Uzawa) solver against a manufactured
+closed-form solution."""
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import box_mesh_2d
+from repro.ns.bcs import VelocityBC
+from repro.ns.stokes import StokesSolver
+
+
+def manufactured(re):
+    """div-free u from the stream function x^2(1-x)^2 y^2(1-y)^2 with
+    p = sin(pi x) cos(pi y); returns (u, v, p, fx, fy) callables."""
+    nu = 1.0 / re
+    X = lambda x: x**2 * (1 - x) ** 2  # noqa: E731
+    dX = lambda x: 2 * x - 6 * x**2 + 4 * x**3  # noqa: E731
+    d2X = lambda x: 2 - 12 * x + 12 * x**2  # noqa: E731
+    d3X = lambda x: -12 + 24 * x  # noqa: E731
+
+    u = lambda x, y: X(x) * dX(y)  # noqa: E731
+    v = lambda x, y: -dX(x) * X(y)  # noqa: E731
+    p = lambda x, y: np.sin(np.pi * x) * np.cos(np.pi * y)  # noqa: E731
+
+    def fx(x, y):
+        lap_u = d2X(x) * dX(y) + X(x) * d3X(y)
+        return -nu * lap_u + np.pi * np.cos(np.pi * x) * np.cos(np.pi * y)
+
+    def fy(x, y):
+        lap_v = -(d3X(x) * X(y) + dX(x) * d2X(y))
+        return -nu * lap_v - np.pi * np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    return u, v, p, fx, fy
+
+
+class TestStokesManufactured:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        re = 2.0
+        u, v, p, fx, fy = manufactured(re)
+        mesh = box_mesh_2d(3, 3, 7)
+        solver = StokesSolver(mesh, re=re)
+        res = solver.solve(forcing=lambda x, y: (fx(x, y), fy(x, y)))
+        return mesh, solver, res, (u, v, p)
+
+    def test_converged_and_divergence_free(self, solved):
+        _, _, res, _ = solved
+        assert res.converged
+        assert res.divergence_norm < 1e-7
+
+    def test_velocity_matches_exact(self, solved):
+        mesh, _, res, (u, v, p) = solved
+        err_u = np.max(np.abs(res.u[0] - mesh.eval_function(u)))
+        err_v = np.max(np.abs(res.u[1] - mesh.eval_function(v)))
+        scale = np.max(np.abs(mesh.eval_function(u))) or 1.0
+        assert err_u < 1e-5 * scale
+        assert err_v < 1e-5 * scale
+
+    def test_pressure_matches_exact_up_to_constant(self, solved):
+        mesh, solver, res, (u, v, p) = solved
+        x_p = solver.pop.interp_to_pressure(np.asarray(mesh.coords[0]))
+        y_p = solver.pop.interp_to_pressure(np.asarray(mesh.coords[1]))
+        p_exact = p(x_p, y_p)
+        diff = res.p - p_exact
+        diff -= diff.mean()
+        assert np.max(np.abs(diff)) < 5e-3 * np.max(np.abs(p_exact))
+
+    def test_iteration_counts_reasonable(self, solved):
+        _, solver, res, _ = solved
+        assert 0 < res.pressure_iterations < 100
+        # nested structure: d solves for u_f + its per Schur application
+        assert res.velocity_solves >= 2 + 2 * res.pressure_iterations
+
+
+class TestStokesEdgeCases:
+    def test_zero_forcing_zero_flow(self):
+        mesh = box_mesh_2d(2, 2, 5)
+        solver = StokesSolver(mesh)
+        res = solver.solve()
+        assert res.converged
+        for c in res.u:
+            assert np.max(np.abs(c)) < 1e-12
+
+    def test_driven_lid_stokes(self):
+        """Creeping lid-driven cavity: nonzero flow, divergence-free."""
+        mesh = box_mesh_2d(3, 3, 6)
+        bc = VelocityBC(
+            mesh,
+            {
+                "ymax": (lambda x, y: 16 * (x * (1 - x)) ** 2, 0.0),
+                "ymin": (0.0, 0.0),
+                "xmin": (0.0, 0.0),
+                "xmax": (0.0, 0.0),
+            },
+        )
+        solver = StokesSolver(mesh, bc=bc)
+        res = solver.solve()
+        assert res.converged
+        assert res.divergence_norm < 1e-6
+        assert np.max(np.abs(res.u[0])) > 0.5  # lid drives the flow
+        # Stokes cavity is symmetric: u_x antisymmetric about x = 1/2 in v.
+        assert abs(np.sum(res.u[1])) < 1e-6

@@ -1,0 +1,251 @@
+"""Tests for variable-coefficient diffusion and axisymmetric operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import Assembler, DirichletMask
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d
+from repro.core.operators import (
+    LaplaceOperator,
+    MassOperator,
+    SEMSystem,
+    build_poisson_system,
+)
+from repro.solvers.cg import pcg
+from repro.solvers.jacobi import jacobi_preconditioner
+
+
+class TestVariableCoefficient:
+    def test_constant_coeff_matches_scaled_laplacian(self):
+        m = box_mesh_2d(2, 2, 5)
+        geom = geometric_factors(m)
+        lap = LaplaceOperator(m, geom)
+        lap2 = LaplaceOperator(m, geom, coeff=np.full(m.local_shape, 2.5))
+        u = np.random.default_rng(0).standard_normal(m.local_shape)
+        assert np.allclose(lap2.apply(u), 2.5 * lap.apply(u), atol=1e-12)
+        assert np.allclose(lap2.diagonal(), 2.5 * lap.diagonal(), atol=1e-12)
+
+    def test_symmetry_with_variable_coeff(self):
+        m = box_mesh_2d(2, 2, 4)
+        geom = geometric_factors(m)
+        nu = m.eval_function(lambda x, y: 1.0 + 0.5 * np.sin(np.pi * x) * y)
+        lap = LaplaceOperator(m, geom, coeff=nu)
+        rng = np.random.default_rng(1)
+        u, v = rng.standard_normal((2,) + m.local_shape)
+        assert float(np.sum(v * lap.apply(u))) == pytest.approx(
+            float(np.sum(u * lap.apply(v))), rel=1e-11
+        )
+
+    def test_invalid_coeff(self):
+        m = box_mesh_2d(2, 2, 3)
+        with pytest.raises(ValueError):
+            LaplaceOperator(m, coeff=np.zeros(m.local_shape))
+        with pytest.raises(ValueError):
+            LaplaceOperator(m, coeff=np.ones(3))
+
+    def test_manufactured_variable_coeff_solution(self):
+        """-d/dx(nu du/dx) = f with nu = 1 + x, u = x(1-x):
+        f = -( (1+x)(1-2x) )' = -(1 - 2x - 2x + ... ) compute: nu u' =
+        (1+x)(1-2x) = 1 - x - 2x^2; d/dx = -1 - 4x; f = 1 + 4x."""
+        m = box_mesh_2d(3, 1, 8)
+        geom = geometric_factors(m)
+        nu = m.eval_function(lambda x, y: 1.0 + x)
+        lap = LaplaceOperator(m, geom, coeff=nu)
+        mask = DirichletMask(m.boundary_mask(["xmin", "xmax"]))
+        asm = Assembler.for_mesh(m)
+        sys = SEMSystem(m, asm, mask, lap.apply, lap.diagonal)
+        mass = MassOperator(geom)
+        f = m.eval_function(lambda x, y: 1.0 + 4.0 * x)
+        b = sys.rhs(mass.apply(f))
+        res = pcg(sys.matvec, b, dot=sys.dot, precond=jacobi_preconditioner(sys),
+                  tol=1e-12, maxiter=2000)
+        assert res.converged
+        exact = m.eval_function(lambda x, y: x * (1 - x))
+        assert np.max(np.abs(res.x - exact)) < 1e-9
+
+    def test_3d_variable_coeff(self):
+        m = box_mesh_3d(2, 1, 1, 4)
+        geom = geometric_factors(m)
+        nu = m.eval_function(lambda x, y, z: 1.0 + 0.3 * x * z)
+        lap = LaplaceOperator(m, geom, coeff=nu)
+        assert np.allclose(lap.apply(np.ones(m.local_shape)), 0.0, atol=1e-12)
+
+
+class TestAxisymmetric:
+    def test_mass_is_cylindrical_volume(self):
+        # Annulus x in [0, 2], r in [1, 3]: volume/2pi = int r dr dx = 2 * 4 = 8.
+        m = box_mesh_2d(2, 2, 5, x1=2.0, y0=1.0, y1=3.0)
+        geom = geometric_factors(m, axisymmetric=True)
+        assert float(np.sum(geom.bm)) == pytest.approx(8.0, rel=1e-12)
+
+    def test_rejects_negative_radius(self):
+        m = box_mesh_2d(2, 2, 3, y0=-1.0, y1=1.0)
+        with pytest.raises(ValueError):
+            geometric_factors(m, axisymmetric=True)
+
+    def test_rejects_3d(self):
+        m = box_mesh_3d(1, 1, 1, 2)
+        with pytest.raises(ValueError):
+            geometric_factors(m, axisymmetric=True)
+
+    def test_cylindrical_conduction_log_solution(self):
+        """1-D radial conduction between r=1 and r=2: u = ln(r)/ln(2) is
+        harmonic in cylindrical coordinates (lap u = (1/r)(r u')' = 0)."""
+        m = box_mesh_2d(1, 4, 7, x1=1.0, y0=1.0, y1=2.0)
+        geom = geometric_factors(m, axisymmetric=True)
+        lap = LaplaceOperator(m, geom)
+        mask = DirichletMask(m.boundary_mask(["ymin", "ymax"]))
+        asm = Assembler.for_mesh(m)
+        sys = SEMSystem(m, asm, mask, lap.apply, lap.diagonal)
+        exact = m.eval_function(lambda x, r: np.log(r) / np.log(2.0))
+        ub = np.where(mask.constrained, exact, 0.0)
+        b = sys.rhs(-lap.apply(ub))
+        res = pcg(sys.matvec, b, dot=sys.dot, precond=jacobi_preconditioner(sys),
+                  tol=1e-13, maxiter=3000)
+        assert res.converged
+        assert np.max(np.abs(res.x + ub - exact)) < 1e-8
+
+    def test_axisymmetric_poisson_manufactured(self):
+        """-(1/r)(r u')' = -4 with u = r^2 on r in [0.0, 1]: includes the
+        axis r = 0 (the weighting regularizes it naturally)."""
+        m = box_mesh_2d(1, 3, 7, x1=1.0, y0=0.0, y1=1.0)
+        geom = geometric_factors(m, axisymmetric=True)
+        lap = LaplaceOperator(m, geom)
+        mass = MassOperator(geom)
+        mask = DirichletMask(m.boundary_mask(["ymax"]))  # axis side natural
+        asm = Assembler.for_mesh(m)
+        sys = SEMSystem(m, asm, mask, lap.apply, lap.diagonal)
+        exact = m.eval_function(lambda x, r: r * r)
+        f = m.eval_function(lambda x, r: -4.0 + 0 * r)  # f = -lap(r^2)
+        ub = np.where(mask.constrained, exact, 0.0)
+        b = sys.rhs(mass.apply(f) - lap.apply(ub))
+        res = pcg(sys.matvec, b, dot=sys.dot, precond=jacobi_preconditioner(sys),
+                  tol=1e-13, maxiter=3000)
+        assert res.converged
+        assert np.max(np.abs(res.x + ub - exact)) < 1e-8
+
+
+class TestAxisymmetricPressureOperator:
+    @pytest.fixture
+    def pop(self):
+        from repro.core.pressure import PressureOperator
+
+        m = box_mesh_2d(2, 3, 5, x1=1.0, y0=0.5, y1=1.5, periodic=(True, False))
+        return PressureOperator(m, axisymmetric=True), m
+
+    def test_rejects_3d(self):
+        from repro.core.pressure import PressureOperator
+
+        with pytest.raises(ValueError):
+            PressureOperator(box_mesh_3d(1, 1, 1, 3), axisymmetric=True)
+
+    def test_div_free_cylindrical_fields(self, pop):
+        """(x, r)-divergence-free fields: u = (c, 0) and u = (0, a/r)."""
+        op, m = pop
+        u1 = [m.field(2.0), m.field(0.0)]
+        assert np.max(np.abs(op.apply_div(u1))) < 1e-12
+        # 1/r is rational: its discrete divergence converges spectrally
+        # (7e-6 at N=5 down to 1e-9 at N=9) rather than vanishing exactly.
+        u2 = [m.field(0.0), m.eval_function(lambda x, r: 1.0 / r)]
+        assert np.max(np.abs(op.apply_div(u2))) < 1e-4
+        u3 = [m.eval_function(lambda x, r: x), m.eval_function(lambda x, r: -r / 2)]
+        assert np.max(np.abs(op.apply_div(u3))) < 1e-12
+
+    def test_unit_divergence_gives_cylindrical_mass(self, pop):
+        # u = (x, 0): div = 1 -> (D u)_q = integral q r  = bm_p.
+        op, m = pop
+        u = [m.eval_function(lambda x, r: x), m.field()]
+        assert np.allclose(op.apply_div(u), op.bm_p, atol=1e-12)
+
+    def test_div_t_exact_adjoint(self, pop):
+        op, m = pop
+        rng = np.random.default_rng(0)
+        u = [rng.standard_normal(m.local_shape) for _ in range(2)]
+        p = rng.standard_normal(op.p_shape)
+        lhs = float(np.sum(p * op.apply_div(u)))
+        w = op.apply_div_t(p)
+        rhs = sum(float(np.sum(u[c] * w[c])) for c in range(2))
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+    def test_e_spd_with_nullspace(self, pop):
+        op, _ = pop
+        assert op.has_nullspace  # periodic + Dirichlet walls
+        rng = np.random.default_rng(1)
+        p = rng.standard_normal(op.p_shape)
+        q = rng.standard_normal(op.p_shape)
+        assert op.dot(q, op.apply_e(p)) == pytest.approx(
+            op.dot(p, op.apply_e(q)), rel=1e-9
+        )
+        assert op.dot(p, op.apply_e(p)) >= -1e-12
+
+
+class TestAxisymmetricNavierStokes:
+    def test_requires_positive_radius_and_2d(self):
+        from repro.ns.navier_stokes import NavierStokesSolver
+
+        m = box_mesh_2d(2, 2, 4)  # r reaches 0
+        with pytest.raises(ValueError):
+            NavierStokesSolver(m, re=10, dt=0.1, axisymmetric=True)
+        m3 = box_mesh_3d(1, 1, 1, 3)
+        with pytest.raises(ValueError):
+            NavierStokesSolver(m3, re=10, dt=0.1, axisymmetric=True)
+
+    def test_annular_poiseuille_exact_steady_state(self):
+        """Forced annular pipe flow matches the closed-form log profile."""
+        from repro.ns.bcs import VelocityBC
+        from repro.ns.navier_stokes import NavierStokesSolver
+
+        re, f = 10.0, 0.05
+        nu = 1 / re
+        r1, r2 = 0.5, 1.5
+        A = np.array([[np.log(r1), 1.0], [np.log(r2), 1.0]])
+        b = np.array([(f / (4 * nu)) * r1**2, (f / (4 * nu)) * r2**2])
+        c1, c2 = np.linalg.solve(A, b)
+        exact = lambda x, r: -(f / (4 * nu)) * r**2 + c1 * np.log(r) + c2  # noqa: E731
+
+        mesh = box_mesh_2d(2, 3, 7, x1=1.0, y0=r1, y1=r2, periodic=(True, False))
+        bc = VelocityBC(mesh, {"ymin": (0.0, 0.0), "ymax": (0.0, 0.0)})
+        sol = NavierStokesSolver(
+            mesh, re=re, dt=0.1, bc=bc, convection="ext", axisymmetric=True,
+            forcing=lambda x, r, t: (f * np.ones_like(x), 0 * x),
+        )
+        sol.set_initial_condition([lambda x, r: 0 * x, lambda x, r: 0 * x])
+        sol.advance(250)
+        err = np.max(np.abs(sol.u[0] - mesh.eval_function(exact)))
+        assert err < 1e-8
+        assert np.max(np.abs(sol.u[1])) < 1e-12
+        assert sol.divergence_norm() < 1e-12
+
+    def test_radial_momentum_operator_exact(self):
+        """The u_r Helmholtz operator solves the radial vector-Laplacian ODE
+        -nu (u'' + u'/r - u/r^2) = f with a manufactured solution."""
+        from repro.ns.bcs import VelocityBC
+        from repro.ns.navier_stokes import NavierStokesSolver
+        from repro.solvers.cg import pcg
+        from repro.solvers.jacobi import JacobiPreconditioner
+
+        re = 5.0
+        nu = 1 / re
+        r1, r2 = 1.0, 2.0
+        u_exact = lambda x, r: (r - r1) * (r2 - r)  # noqa: E731
+        # u = -r^2 + 3r - 2; u' = -2r + 3; u'' = -2.
+        # f = -nu (u'' + u'/r - u/r^2)
+        f_exact = lambda x, r: -nu * (-2.0 + (-2 * r + 3) / r - ((r - r1) * (r2 - r)) / r**2)  # noqa: E731
+
+        mesh = box_mesh_2d(2, 3, 8, x1=1.0, y0=r1, y1=r2, periodic=(True, False))
+        bc = VelocityBC(mesh, {"ymin": (0.0, 0.0), "ymax": (0.0, 0.0)})
+        sol = NavierStokesSolver(mesh, re=re, dt=1e6, bc=bc, convection="none",
+                                 axisymmetric=True)
+        helm = sol._helmholtz_for(1, comp=1)  # radial operator, huge dt
+        dia = sol._helmholtz_diag[(1, True)]
+        rhs = sol.mask.apply(sol.assembler.dssum(
+            sol.mass.apply(mesh.eval_function(f_exact))))
+        res = pcg(
+            lambda v: sol.mask.apply(sol.assembler.dssum(helm.apply(v))),
+            rhs, dot=sol.assembler.dot, precond=JacobiPreconditioner(dia),
+            tol=1e-14, maxiter=4000,
+        )
+        assert res.converged
+        # dt = 1e6 leaves a tiny beta0/dt mass shift; tolerance reflects it.
+        assert np.max(np.abs(res.x - mesh.eval_function(u_exact))) < 1e-4

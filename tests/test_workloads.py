@@ -1,0 +1,214 @@
+"""Smoke and shape tests for the paper-experiment workloads.
+
+Full-size reproductions live in benchmarks/; here each workload is
+exercised at reduced scale, asserting the *shape* of the paper result it
+feeds (Table 1, Fig. 3, Fig. 4, Table 2, Fig. 8).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.convection_cell import ConvectionCellCase
+from repro.workloads.cylinder_model import TABLE2_LEVELS, Table2Case, cylinder_mesh
+from repro.workloads.hairpin import HairpinCase, blasius_like_profile, bump_channel_mesh
+from repro.workloads.orr_sommerfeld import (
+    OrrSommerfeldCase,
+    chebyshev_diff_matrix,
+    orr_sommerfeld_eigs,
+    ts_wave_fields,
+)
+from repro.workloads.shear_layer import ShearLayerCase
+
+
+class TestChebyshev:
+    def test_diff_matrix_differentiates_polynomials(self):
+        x, d = chebyshev_diff_matrix(12)
+        for deg in range(6):
+            assert np.allclose(d @ x**deg, deg * x ** max(deg - 1, 0) * (deg > 0)
+                               + (0 if deg > 0 else 0), atol=1e-9)
+
+    def test_n_zero(self):
+        x, d = chebyshev_diff_matrix(0)
+        assert x.shape == (1,) and d.shape == (1, 1)
+
+
+class TestOrrSommerfeldTheory:
+    def test_orszag_value_re10000(self):
+        w, _, _ = orr_sommerfeld_eigs(10000.0, 1.0, n_cheb=90)
+        assert w[0].real == pytest.approx(0.23752649, abs=1e-6)
+        assert w[0].imag == pytest.approx(0.00373967, abs=1e-6)
+
+    def test_re7500_unstable_mode(self):
+        w, _, _ = orr_sommerfeld_eigs(7500.0, 1.0, n_cheb=90)
+        assert w[0].imag > 0  # unstable TS mode
+        assert w[0].real == pytest.approx(0.2499, abs=1e-3)
+        assert w[1].imag < 0  # only one unstable mode
+
+    def test_low_re_stable(self):
+        w, _, _ = orr_sommerfeld_eigs(1000.0, 1.0, n_cheb=70)
+        assert w[0].imag < 0  # below critical Re (~5772)
+
+    def test_eigenfunction_satisfies_bcs(self):
+        w, y, phi = orr_sommerfeld_eigs(7500.0, 1.0, n_cheb=90)
+        assert abs(phi[0]) < 1e-8 and abs(phi[-1]) < 1e-8
+
+    def test_ts_wave_fields_divergence_free(self):
+        u_fn, v_fn, c = ts_wave_fields(7500.0, 1.0, n_cheb=80)
+        # du'/dx + dv'/dy = 0 by construction (streamfunction); check FD.
+        x0, y0, h = 0.3, 0.2, 1e-5
+        dudx = (u_fn(x0 + h, y0) - u_fn(x0 - h, y0)) / (2 * h)
+        dvdy = (v_fn(x0, y0 + h) - v_fn(x0, y0 - h)) / (2 * h)
+        assert abs(dudx + dvdy) < 1e-4
+
+
+class TestOrrSommerfeldCase:
+    def test_growth_rate_converges_with_n(self):
+        """The Table 1 spatial-convergence shape at reduced cost."""
+        errs = {}
+        for N in (7, 9):
+            case = OrrSommerfeldCase(order=N, dt=0.01)
+            r = case.measure_growth_rate(t_final=2.0, sample_every=10)
+            assert not r.blew_up
+            errs[N] = r.relative_error
+        assert errs[9] < errs[7]
+        assert errs[9] < 0.05
+
+    def test_filter_preserves_convergence(self):
+        """Filtered (alpha=0.2) run stays accurate (Table 1 alpha column)."""
+        case = OrrSommerfeldCase(order=9, dt=0.01, filter_alpha=0.2)
+        r = case.measure_growth_rate(t_final=2.0, sample_every=10)
+        assert not r.blew_up
+        assert r.relative_error < 0.1
+
+    def test_theory_rate_matches_eigenvalue(self):
+        case = OrrSommerfeldCase(order=7, dt=0.01)
+        assert case.theory_rate == pytest.approx(2 * case.c_mode.imag, rel=1e-12)
+        assert case.theory_rate == pytest.approx(2 * 0.00223497, rel=1e-3)
+
+
+class TestShearLayer:
+    def test_filtered_run_is_stable(self):
+        case = ShearLayerCase(n_elements=4, order=8, rho=30, re=1e5,
+                              filter_alpha=0.3, dt=0.002)
+        r = case.run(t_end=0.1, check_every=5)
+        assert r.stable
+        assert np.isfinite(r.vorticity_min) and r.vorticity_min < 0
+        assert r.vortex_count >= 1
+
+    def test_grid_points_property(self):
+        case = ShearLayerCase(n_elements=4, order=8)
+        assert case.grid_points_per_direction == 32
+
+    def test_unfiltered_rougher_than_filtered(self):
+        """The unfiltered high-Re run accumulates more extreme vorticity
+        (the precursor of the Fig. 3a blow-up; the blow-up itself takes
+        t ~ 1 and is exercised in the Fig. 3 bench)."""
+        kw = dict(n_elements=4, order=8, rho=30, re=1e5, dt=0.002,
+                  convection="ext")
+        case_f = ShearLayerCase(filter_alpha=0.3, **kw)
+        case_n = ShearLayerCase(filter_alpha=0.0, **kw)
+        r_filt = case_f.run(t_end=0.24, check_every=5)
+        r_none = case_n.run(t_end=0.24, check_every=5)
+        assert r_filt.stable
+        if r_none.stable:
+            w_f = case_f.solver.vorticity()
+            w_n = case_n.solver.vorticity()
+            ens_f = case_f.solver.mass.integrate(w_f * w_f)
+            ens_n = case_n.solver.mass.integrate(w_n * w_n)
+            assert ens_n >= 0.999 * ens_f
+
+    def test_energy_history_recorded(self):
+        case = ShearLayerCase(n_elements=4, order=6, filter_alpha=0.3)
+        r = case.run(t_end=0.05, check_every=5)
+        assert len(r.energy_history) >= 2
+        assert all(np.isfinite(e) for e in r.energy_history)
+
+
+class TestCylinderModel:
+    def test_mesh_levels_quadruple(self):
+        k0 = cylinder_mesh(0).K
+        k1 = cylinder_mesh(1).K
+        assert k1 == 4 * k0
+        assert TABLE2_LEVELS[0][0] * TABLE2_LEVELS[0][1] == k0
+
+    def test_mesh_wraps_cylinder(self):
+        m = cylinder_mesh(0, order=4)
+        r = np.sqrt(np.asarray(m.coords[0]) ** 2 + np.asarray(m.coords[1]) ** 2)
+        assert r.min() == pytest.approx(1.0, abs=1e-12)
+        assert r.max() == pytest.approx(12.0, rel=1e-12)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            cylinder_mesh(5)
+
+    def test_table2_shapes(self):
+        """The Table 2 orderings at level 0: coarse grid essential; FDM
+        competitive with FEM in iterations and cheaper in cpu."""
+        case = Table2Case(level=0, order=7)
+        fdm = case.run(variant="fdm")
+        fem0 = case.run(variant="fem", overlap=0)
+        fem1 = case.run(variant="fem", overlap=1)
+        no_coarse = case.run(variant="fdm", use_coarse=False)
+        assert all(r.converged for r in (fdm, fem0, fem1, no_coarse))
+        assert no_coarse.iterations > 2 * fdm.iterations
+        assert fem1.iterations <= fem0.iterations
+        assert fdm.iterations <= 1.2 * fem1.iterations
+        assert fdm.cpu_seconds < fem1.cpu_seconds
+
+
+class TestConvectionCell:
+    def test_projection_cuts_iterations_and_residual(self):
+        """The Fig. 4 effect at reduced scale."""
+        with_proj = ConvectionCellCase(n_elements=3, order=5, dt=0.05,
+                                       projection_window=26).run(16)
+        without = ConvectionCellCase(n_elements=3, order=5, dt=0.05,
+                                     projection_window=0).run(16)
+        assert with_proj.mean_iterations_tail < 0.6 * without.mean_iterations_tail
+        assert with_proj.mean_residual_tail < 1e-2 * without.mean_residual_tail
+
+    def test_nusselt_positive(self):
+        case = ConvectionCellCase(n_elements=3, order=5, dt=0.05)
+        case.run(5)
+        assert case.nusselt_number() > 0
+
+
+class TestHairpin:
+    def test_blasius_profile_properties(self):
+        z = np.linspace(0, 1, 50)
+        u = blasius_like_profile(z, 0.5)
+        assert u[0] == 0.0
+        assert u[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(u) >= -1e-12)
+
+    def test_bump_mesh_geometry(self):
+        m = bump_channel_mesh(4, 2, 2, order=4, bump_height=0.3)
+        z = np.asarray(m.coords[2])
+        assert z.max() == pytest.approx(1.0, abs=1e-12)  # top wall flat
+        assert z.min() == pytest.approx(0.0, abs=1e-12)  # floor edges flat
+        # the bump raises interior floor nodes
+        floor = m.boundary["zmin"]
+        assert z[floor].max() > 0.2
+
+    def test_run_records_fig8_series(self):
+        case = HairpinCase(order=5, elements=(4, 2, 2), dt=0.05)
+        r = case.run(6)
+        assert len(r.pressure_iterations) == 6
+        assert all(i > 0 for i in r.pressure_iterations)
+        assert len(r.helmholtz_iterations[0]) == 3
+        assert all(s > 0 for s in r.seconds_per_step)
+
+    def test_flow_over_bump_generates_streamwise_vorticity(self):
+        case = HairpinCase(order=5, elements=(4, 2, 2), dt=0.05)
+        case.run(5)
+        assert case.streamwise_vorticity_extrema() > 1e-3
+
+
+class TestOrrSommerfeldOIFS:
+    def test_oifs_case_runs_at_large_dt(self):
+        """The Table 1 temporal configuration (convective CFL > 1)."""
+        case = OrrSommerfeldCase(order=9, dt=0.08, convection="oifs", scheme=3,
+                                 filter_alpha=0.2)
+        assert case.solver.cfl() > 1.0
+        r = case.measure_growth_rate(t_final=0.8, sample_every=1)
+        assert not r.blew_up
+        assert np.isfinite(r.measured_rate)

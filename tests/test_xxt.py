@@ -1,0 +1,132 @@
+"""Tests for the XXT sparse-conjugate-basis coarse solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers.xxt import XXTSolver, xxt_factor_gram_schmidt
+
+
+def poisson_2d(nx, ny=None):
+    """Standard 5-point Poisson matrix (the Fig. 6 test operator)."""
+    ny = ny if ny is not None else nx
+    n = nx * ny
+    main = 4.0 * np.ones(n)
+    a = sp.diags(main).tolil()
+    for j in range(ny):
+        for i in range(nx):
+            v = j * nx + i
+            if i + 1 < nx:
+                a[v, v + 1] = -1.0
+                a[v + 1, v] = -1.0
+            if j + 1 < ny:
+                a[v, v + nx] = -1.0
+                a[v + nx, v] = -1.0
+    return sp.csr_matrix(a)
+
+
+def grid_coords(nx, ny):
+    jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    return np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    m = sp.random(n, n, density=0.1, random_state=rng)
+    a = m @ m.T + sp.diags(np.full(n, n * 0.5))
+    return sp.csr_matrix(a)
+
+
+class TestGramSchmidt:
+    def test_xxt_is_inverse_small(self):
+        a = poisson_2d(4)
+        x = xxt_factor_gram_schmidt(a)
+        ainv = x @ x.T
+        assert np.allclose(ainv @ a.toarray(), np.eye(16), atol=1e-9)
+
+    def test_conjugacy(self):
+        a = poisson_2d(5)
+        x = xxt_factor_gram_schmidt(a)
+        gram = x.T @ a.toarray() @ x
+        assert np.allclose(gram, np.eye(25), atol=1e-9)
+
+    def test_nd_order_reduces_fill(self):
+        from repro.parallel.partition import nested_dissection
+
+        a = poisson_2d(8)
+        adj = a - sp.diags(a.diagonal())
+        order, _ = nested_dissection(sp.csr_matrix(abs(adj)), coords=grid_coords(8, 8), leaf_size=4)
+        x_nat = xxt_factor_gram_schmidt(a, drop_tol=1e-10)
+        x_nd = xxt_factor_gram_schmidt(a, order=order, drop_tol=1e-10)
+        nnz_nat = np.sum(np.abs(x_nat) > 1e-9)
+        nnz_nd = np.sum(np.abs(x_nd) > 1e-9)
+        assert nnz_nd < nnz_nat
+
+    def test_breakdown_on_indefinite(self):
+        a = sp.csr_matrix(np.diag([1.0, -1.0]))
+        with pytest.raises(np.linalg.LinAlgError):
+            xxt_factor_gram_schmidt(a)
+
+
+class TestXXTSolver:
+    @pytest.mark.parametrize("nx", [4, 7, 12])
+    def test_solves_poisson(self, nx):
+        a = poisson_2d(nx)
+        solver = XXTSolver(a, coords=grid_coords(nx, nx), leaf_size=4)
+        assert solver.verify(a) < 1e-9
+
+    def test_matches_gram_schmidt_construction(self):
+        a = poisson_2d(5)
+        solver = XXTSolver(a, coords=grid_coords(5, 5), leaf_size=4)
+        x_gs = xxt_factor_gram_schmidt(a, order=solver.order)
+        # X is unique up to column signs given the same order.
+        x_dense = solver.x.toarray()
+        for j in range(25):
+            col_a, col_b = x_dense[:, j], x_gs[:, j]
+            assert np.allclose(col_a, col_b, atol=1e-8) or np.allclose(
+                col_a, -col_b, atol=1e-8
+            )
+
+    def test_random_spd(self):
+        a = random_spd(60, seed=3)
+        solver = XXTSolver(a, leaf_size=8)
+        assert solver.verify(a) < 1e-8
+
+    def test_explicit_order(self):
+        a = poisson_2d(6)
+        solver = XXTSolver(a, order=np.arange(36))
+        assert solver.verify(a) < 1e-9
+        with pytest.raises(ValueError):
+            solver.level_interface_sizes(3)
+
+    def test_fill_is_subquadratic(self):
+        # nnz(X) for 2-D nested dissection ~ O(n^{3/2}); far below dense n^2.
+        nx = 15
+        a = poisson_2d(nx)
+        solver = XXTSolver(a, coords=grid_coords(nx, nx), leaf_size=4)
+        n = nx * nx
+        assert solver.nnz < 0.5 * n * n
+        assert solver.nnz >= n  # at least the diagonal
+
+    def test_not_spd_raises(self):
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))  # indefinite
+        with pytest.raises(np.linalg.LinAlgError):
+            XXTSolver(a)
+
+    def test_column_fill_and_levels(self):
+        a = poisson_2d(10)
+        solver = XXTSolver(a, coords=grid_coords(10, 10), leaf_size=4)
+        fill = solver.column_fill()
+        assert fill.sum() == solver.nnz
+        s = solver.level_interface_sizes(4)
+        assert s[0] == 0.0  # root has no external interface
+        assert np.all(s[1:] > 0)
+
+    def test_solve_is_linear(self):
+        a = poisson_2d(6)
+        solver = XXTSolver(a, coords=grid_coords(6, 6))
+        rng = np.random.default_rng(1)
+        b1, b2 = rng.standard_normal((2, 36))
+        assert np.allclose(
+            solver.solve(b1 + 2 * b2), solver.solve(b1) + 2 * solver.solve(b2)
+        )
