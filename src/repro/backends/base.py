@@ -1,0 +1,141 @@
+"""Kernel-backend protocol and workspace management.
+
+Section 6 of the paper is blunt: matrix-matrix products account for over
+90% of the flops in a simulation, and Table 3 shows that *no single kernel
+is superior across all calling shapes*.  The production response (then:
+hand-unrolled f2/f3 Fortran kernels selected per ``n2``; now: the
+OCCA/kernel-dispatch layers of NekRS) is a pluggable backend layer.  This
+module defines that layer's contract:
+
+* :class:`KernelBackend` — the protocol every kernel implementation obeys.
+  The core operation is :meth:`KernelBackend.apply_1d`: apply a small dense
+  operator along one tensor direction of a batched field, optionally into a
+  preallocated output.  ``grad``/``grad_transpose`` have default
+  implementations in terms of ``apply_1d`` but may be overridden by
+  backends with fused variants.
+* :class:`Workspace` — a pool of named preallocated buffers so that hot
+  loops (operator applies inside a CG iteration) perform no per-apply
+  allocations.  Buffers are keyed by ``(name, shape)``; requesting the same
+  key twice returns the same array.
+
+Backends receive *sanitized* operands — C-contiguous float64 arrays with
+validated shapes — from :mod:`repro.backends.dispatch`, which is the single
+entry point the rest of the library uses.  Flop accounting also lives at
+that boundary, so counters stay exact regardless of which kernel ran.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["KernelBackend", "Workspace"]
+
+
+class Workspace:
+    """Pool of preallocated scratch buffers keyed by ``(name, shape)``.
+
+    The zero-allocation discipline of the hot paths: every intermediate a
+    kernel or operator needs is requested from a workspace owned by the
+    long-lived object (operator, solver, backend), so steady-state applies
+    reuse the same memory.  Buffer contents are *not* cleared between
+    requests — callers must treat a fresh buffer as uninitialized.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple, np.ndarray] = {}
+
+    def get(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return the buffer for ``(name, shape)``, allocating it on first use."""
+        key = (name, tuple(shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def zeros(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Like :meth:`get` but zero-filled on every request."""
+        buf = self.get(name, shape, dtype)
+        buf.fill(0.0)
+        return buf
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. after a mesh change)."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+class KernelBackend(abc.ABC):
+    """Protocol for tensor-product kernel implementations.
+
+    A backend supplies the Eq. (3) building block: apply a dense ``(m, n)``
+    operator along one tensor direction of a batched field
+
+        2-D:  ``(K, n_s, n_r)``        3-D:  ``(K, n_t, n_s, n_r)``
+
+    with ``direction`` counted from the fastest-varying array axis
+    (``0 = r``, ``1 = s``, ``2 = t``), writing into ``out`` when provided.
+
+    Implementations may assume sanitized inputs (C-contiguous float64,
+    shape-checked, ``out`` non-aliasing) — the dispatch layer guarantees
+    this — and must return ``out`` itself when one is supplied.
+    """
+
+    #: registry name; subclasses override.
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self.workspace = Workspace()
+
+    @abc.abstractmethod
+    def apply_1d(
+        self,
+        op: np.ndarray,
+        u: np.ndarray,
+        direction: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply ``op`` along ``direction`` of batched ``u`` (into ``out``)."""
+
+    # ------------------------------------------------------------- composites
+    def grad(
+        self,
+        d: np.ndarray,
+        u: np.ndarray,
+        outs: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> Tuple[np.ndarray, ...]:
+        """Reference-space gradient: ``apply_1d`` of ``d`` along every direction."""
+        ndim = u.ndim - 1
+        if outs is None:
+            outs = (None,) * ndim
+        return tuple(
+            self.apply_1d(d, u, a, out=outs[a]) for a in range(ndim)
+        )
+
+    def grad_transpose(
+        self,
+        dt: np.ndarray,
+        ws: Sequence[np.ndarray],
+        out: Optional[np.ndarray] = None,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Adjoint gradient ``sum_a D^T w_a`` (``dt`` is the pre-transposed
+        operator); accumulates through ``work`` to avoid temporaries."""
+        out = self.apply_1d(dt, ws[0], 0, out=out)
+        for a in range(1, len(ws)):
+            tmp = self.apply_1d(dt, ws[a], a, out=work)
+            out += tmp
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,300 @@
+"""Backend registry and shape-aware auto-tuning dispatch.
+
+This is the single entry point through which every tensor-product kernel
+in the library runs.  It owns three responsibilities the paper assigns to
+the tuned-kernel layer:
+
+1. **Sanitizing the boundary.**  Operands are coerced to C-contiguous
+   float64 exactly once (silently falling onto strided BLAS paths is the
+   classic way to lose the Table 3 performance), shapes are validated, and
+   ``out=`` aliasing the input is rejected.
+2. **Exact flop accounting.**  The analytic ``2 m n (size/n)`` count is
+   tallied here, so :mod:`repro.perf.flops` stays correct regardless of
+   which kernel actually ran.
+3. **Shape-aware dispatch.**  The default :class:`AutoTuneDispatcher` is
+   the runtime analogue of the paper's N-specialized unrolled f2/f3
+   kernels: the first time a ``(op shape, field shape, direction)``
+   signature is seen, every registered backend is micro-benchmarked on it
+   and the winner is cached for the rest of the process.  Because "no
+   single kernel is superior across all cases" (Section 6), the winner
+   genuinely varies with shape.
+
+Selection: ``REPRO_BACKEND`` in the environment (``auto``, ``matmul``,
+``einsum``, ``flat``) or :func:`set_backend` / the ``--backend`` CLI flag.
+:func:`backend_report` exposes the tuner's choices and per-shape hit
+counts for observability.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf.flops import add_flops
+from .base import KernelBackend, Workspace
+from .numpy_backends import EinsumBackend, FlattenedBackend, MatmulBackend
+
+__all__ = [
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "backend_report",
+    "AutoTuneDispatcher",
+    "apply_1d",
+    "grad",
+    "grad_transpose",
+]
+
+#: name -> backend instance (fixed kernels; the dispatcher sits above them).
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register a kernel backend under ``backend.name``.
+
+    Re-registering a name replaces the old instance (useful for tests);
+    the auto-tuner picks up new backends on shapes it has not tuned yet.
+    """
+    if not backend.name or backend.name == "?":
+        raise ValueError("backend must define a non-empty name")
+    if backend.name == "auto":
+        raise ValueError("'auto' is reserved for the dispatcher")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Registered kernel names plus the ``auto`` dispatcher."""
+    return ["auto"] + sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name (``"auto"`` returns the dispatcher)."""
+    if name == "auto":
+        return _DISPATCHER
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+class AutoTuneDispatcher(KernelBackend):
+    """Micro-benchmarking dispatcher: per-shape winner, cached per process.
+
+    Tuning cost is a handful of kernel calls per *distinct* shape signature
+    (warmup + best-of-``reps`` timing per candidate), amortized over the
+    millions of applies a simulation performs on that same shape — the same
+    economics as the paper's one-time selection of f2/f3 unrollings per N.
+    """
+
+    name = "auto"
+
+    def __init__(self, reps: int = 3):
+        super().__init__()
+        self.reps = int(reps)
+        #: shape signature -> winning backend name
+        self.choices: Dict[Tuple, str] = {}
+        #: shape signature -> dispatch count (excludes tuning calls)
+        self.hits: Dict[Tuple, int] = {}
+        #: shape signature -> {backend name: best seconds} from tuning
+        self.timings: Dict[Tuple, Dict[str, float]] = {}
+
+    @staticmethod
+    def signature(op: np.ndarray, u: np.ndarray, direction: int) -> Tuple:
+        """The (n, K, axis) dispatch key: operator shape, field shape, direction."""
+        return (op.shape, u.shape, direction)
+
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        key = self.signature(op, u, direction)
+        name = self.choices.get(key)
+        if name is None:
+            name = self._tune(key, op, u, direction)
+        self.hits[key] = self.hits.get(key, 0) + 1
+        return _REGISTRY[name].apply_1d(op, u, direction, out=out)
+
+    def _tune(self, key, op, u, direction) -> str:
+        """Time every registered backend on this exact call; cache the winner."""
+        shape = list(u.shape)
+        shape[u.ndim - 1 - direction] = op.shape[0]
+        scratch = self.workspace.get("tune_out", tuple(shape))
+        best_name, best_t = None, np.inf
+        timings: Dict[str, float] = {}
+        for name, backend in _REGISTRY.items():
+            try:
+                backend.apply_1d(op, u, direction, out=scratch)  # warmup
+                t_min = np.inf
+                for _ in range(self.reps):
+                    t0 = time.perf_counter()
+                    backend.apply_1d(op, u, direction, out=scratch)
+                    t_min = min(t_min, time.perf_counter() - t0)
+            except Exception:  # pragma: no cover - defensive
+                continue
+            timings[name] = t_min
+            if t_min < best_t:
+                best_name, best_t = name, t_min
+        if best_name is None:  # pragma: no cover - registry never empty
+            raise RuntimeError("no kernel backend could handle the call")
+        self.choices[key] = best_name
+        self.timings[key] = timings
+        return best_name
+
+    def reset(self) -> None:
+        """Forget all tuning decisions and hit counts."""
+        self.choices.clear()
+        self.hits.clear()
+        self.timings.clear()
+
+    def report(self) -> str:
+        """Chosen kernel and hit count per tuned shape (observability)."""
+        if not self.choices:
+            return "backend dispatcher: no shapes tuned yet"
+        lines = [
+            "backend dispatcher: chosen kernel per (op shape, field shape, dir)",
+            f"{'op':>12} {'field':>22} {'dir':>3} {'kernel':>8} {'hits':>10}",
+        ]
+        for key in sorted(self.choices, key=repr):
+            op_s, u_s, d = key
+            lines.append(
+                f"{str(op_s):>12} {str(u_s):>22} {d:3d} "
+                f"{self.choices[key]:>8} {self.hits.get(key, 0):10d}"
+            )
+        used = sorted(set(self.choices.values()))
+        lines.append(f"distinct kernels in use: {len(used)} ({used})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Registry population and active-backend state.
+# ---------------------------------------------------------------------------
+register_backend(MatmulBackend())
+register_backend(EinsumBackend())
+register_backend(FlattenedBackend())
+
+_DISPATCHER = AutoTuneDispatcher()
+
+#: the backend all library kernels currently route through.
+_ACTIVE: KernelBackend = _DISPATCHER
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Select the process-wide kernel backend (``auto`` = tuned dispatch)."""
+    global _ACTIVE
+    _ACTIVE = get_backend(name)
+    return _ACTIVE
+
+
+def active_backend() -> KernelBackend:
+    """The backend currently receiving all kernel traffic."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily route kernels through ``name`` (parity tests, benchmarks)."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = get_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev
+
+
+def backend_report() -> str:
+    """Dispatcher observability: chosen kernel per shape + hit counts.
+
+    When a fixed backend is active the report says so; the dispatcher's
+    accumulated choices are still included (it keeps its cache).
+    """
+    header = f"active backend: {_ACTIVE.name}"
+    return header + "\n" + _DISPATCHER.report()
+
+
+# honor REPRO_BACKEND at import time (CLI --backend overrides later).
+_env = os.environ.get("REPRO_BACKEND", "").strip()
+if _env:
+    set_backend(_env)
+
+
+# ---------------------------------------------------------------------------
+# The sanitized kernel entry points used by repro.core.tensor.
+# ---------------------------------------------------------------------------
+def _sanitize(a: np.ndarray) -> np.ndarray:
+    """C-contiguous float64 view-or-copy, exactly once at the boundary.
+
+    Fortran-ordered or non-float64 operands would silently fall onto slow
+    strided BLAS paths inside every kernel variant; normalizing here keeps
+    the per-shape timings (and therefore the tuner's choices) meaningful.
+    """
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+def apply_1d(
+    op: np.ndarray,
+    u: np.ndarray,
+    direction: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Validated, flop-counted ``apply_1d`` through the active backend."""
+    op = _sanitize(op)
+    u = _sanitize(u)
+    if op.ndim != 2:
+        raise ValueError(f"operator must be 2-D, got shape {op.shape}")
+    m, n = op.shape
+    ndim = u.ndim - 1
+    if ndim < 1:
+        raise ValueError(f"field must be batched (K, ...), got shape {u.shape}")
+    if direction < 0 or direction >= ndim:
+        raise ValueError(f"direction {direction} out of range for {ndim}-D field")
+    axis = u.ndim - 1 - direction
+    if u.shape[axis] != n:
+        raise ValueError(
+            f"operator expects extent {n} along direction {direction}, "
+            f"field has {u.shape[axis]}"
+        )
+    if out is not None:
+        expected = list(u.shape)
+        expected[axis] = m
+        if out.shape != tuple(expected):
+            raise ValueError(
+                f"out has shape {out.shape}, kernel produces {tuple(expected)}"
+            )
+        if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous float64 array")
+        if np.may_share_memory(out, u):
+            raise ValueError(
+                "out must not alias the input field (kernels are not "
+                "in-place safe); pass a distinct workspace buffer"
+            )
+    add_flops(2.0 * m * n * (u.size // n), "mxm")
+    return _ACTIVE.apply_1d(op, u, direction, out=out)
+
+
+def grad(d, u, outs=None):
+    """Backend-routed reference-space gradient (one apply per direction)."""
+    ndim = u.ndim - 1
+    if outs is None:
+        outs = (None,) * ndim
+    return tuple(apply_1d(d, u, a, out=outs[a]) for a in range(ndim))
+
+
+def grad_transpose(dt, ws, out=None, work=None):
+    """Backend-routed adjoint gradient ``sum_a D^T w_a``.
+
+    ``dt`` is the pre-transposed 1-D operator (pass a contiguous transpose
+    to avoid a per-call copy); ``work`` is scratch for the accumulation.
+    """
+    out = apply_1d(dt, ws[0], 0, out=out)
+    for a in range(1, len(ws)):
+        tmp = apply_1d(dt, ws[a], a, out=work)
+        out += tmp
+    return out

@@ -1,0 +1,137 @@
+"""Concrete numpy kernel backends.
+
+Three genuinely different evaluation strategies for the same contraction,
+mirroring the paper's kernel family (Table 3: two vendor libraries, the
+small-``n2`` csm library, and the unrolled f2/f3 loops).  All are exact —
+they differ only in how the work is scheduled:
+
+* :class:`MatmulBackend` — ``np.matmul`` / BLAS-3 dgemm, batched over the
+  leading axes.  numpy loops dgemm over the broadcast batch for the
+  middle/slow directions; the fast direction collapses to one big GEMM.
+* :class:`EinsumBackend` — ``np.einsum`` contraction, numpy's own SIMD
+  loop.  No BLAS call overhead, which wins on the paper's small shapes
+  (e.g. ``2 x 14 x 2``) where dgemm setup dominates.
+* :class:`FlattenedBackend` — reshape/transpose so that *every* direction
+  becomes a single large DGEMM (the "factorizing the factorization" move:
+  trade explicit data movement for one maximal-size BLAS-3 call).  Wins
+  when the batch of small matmuls is long enough that per-call dispatch
+  dominates, loses when the transposes cost more than they save — exactly
+  the shape-dependence Table 3 documents.
+
+Backends allocate scratch only from their :class:`~repro.backends.base.Workspace`,
+so steady-state applies are allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["MatmulBackend", "EinsumBackend", "FlattenedBackend"]
+
+
+def _result_shape(op: np.ndarray, u: np.ndarray, direction: int):
+    shape = list(u.shape)
+    shape[u.ndim - 1 - direction] = op.shape[0]
+    return tuple(shape)
+
+
+class MatmulBackend(KernelBackend):
+    """BLAS-3 ``np.matmul`` strategy (the numpy default path)."""
+
+    name = "matmul"
+
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        if out is None:
+            out = np.empty(_result_shape(op, u, direction))
+        if direction == 0:
+            # (..., n) @ (n, m): single GEMM over all leading axes.
+            np.matmul(u, op.T, out=out)
+        elif direction == 1:
+            # (m, n) @ (..., n, n_r): matmul contracts the second-to-last
+            # axis and broadcasts over the leading batch axes.
+            np.matmul(op, u, out=out)
+        else:
+            # direction == 2 (3-D only): flatten the trailing (s, r) plane
+            # so matmul sees (K, n_t, ns*nr).
+            K = u.shape[0]
+            m = op.shape[0]
+            np.matmul(
+                op,
+                u.reshape(K, u.shape[1], -1),
+                out=out.reshape(K, m, -1),
+            )
+        return out
+
+
+class EinsumBackend(KernelBackend):
+    """``np.einsum`` contraction — no BLAS dispatch, SIMD inner loop."""
+
+    name = "einsum"
+
+    #: subscript per (field ndim, direction); batch axes spelled out so the
+    #: default (non-optimized) single-pass einsum path is taken.
+    _SUBSCRIPTS = {
+        (2, 0): "ij,ksj->ksi",
+        (2, 1): "ij,kjr->kir",
+        (3, 0): "ij,ktsj->ktsi",
+        (3, 1): "ij,ktjr->ktir",
+        (3, 2): "ij,kjsr->kisr",
+    }
+
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        sub = self._SUBSCRIPTS[(u.ndim - 1, direction)]
+        if out is None:
+            return np.einsum(sub, op, u)
+        np.einsum(sub, op, u, out=out)
+        return out
+
+
+class FlattenedBackend(KernelBackend):
+    """Reshape-to-a-single-DGEMM strategy.
+
+    Every direction is permuted so the contracted index lands on the fast
+    axis of a 2-D view, then one maximal ``np.dot`` does all elements at
+    once (the strategy prototyped as ``mxm_dot_out``/flattening in
+    :mod:`repro.perf.mxm`).  Permutation copies go through the workspace.
+    """
+
+    name = "flat"
+
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        m, n = op.shape
+        if out is None:
+            out = np.empty(_result_shape(op, u, direction))
+        ws = self.workspace
+        if direction == 0:
+            # Already fastest axis: one (B, n) @ (n, m) GEMM, no copies.
+            np.dot(u.reshape(-1, n), op.T, out=out.reshape(-1, m))
+            return out
+        if direction == u.ndim - 2:
+            # Leading direction: gather the batch axis to the right,
+            # (n, K*p) <- transpose, single (m, n) @ (n, K*p) GEMM, restore.
+            K = u.shape[0]
+            p = int(np.prod(u.shape[2:], dtype=int)) if u.ndim > 2 else 1
+            src = ws.get("lead_in", (n, K, p))
+            np.copyto(src, u.reshape(K, n, p).transpose(1, 0, 2))
+            dst = ws.get("lead_out", (m, K * p))
+            np.dot(op, src.reshape(n, K * p), out=dst)
+            np.copyto(out.reshape(K, m, p), dst.reshape(m, K, p).transpose(1, 0, 2))
+            return out
+        # Middle direction of a 3-D field (direction == 1): fold (K, n_t)
+        # into the batch and move the contracted axis to the fast position.
+        K, nt, ns, nr = u.shape
+        B = K * nt
+        src = ws.get("mid_in", (B * nr, ns))
+        np.copyto(
+            src.reshape(B, nr, ns), u.reshape(B, ns, nr).transpose(0, 2, 1)
+        )
+        dst = ws.get("mid_out", (B * nr, m))
+        np.dot(src, op.T, out=dst)
+        np.copyto(
+            out.reshape(B, m, nr), dst.reshape(B, nr, m).transpose(0, 2, 1)
+        )
+        return out

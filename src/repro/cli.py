@@ -7,6 +7,12 @@
     python -m repro fig4  [--steps N] # projection study
     python -m repro fig6  [--size n]  # coarse-solver comparison
     python -m repro table2 [--level L]# Schwarz variants on the cylinder mesh
+    python -m repro backends          # kernel backend / auto-tuner report
+
+Every subcommand accepts a global ``--backend {auto,matmul,einsum,flat}``
+selecting the kernel backend all tensor-product applies route through
+(equivalent to the ``REPRO_BACKEND`` environment variable; see
+docs/BACKENDS.md).
 
 The full benchmark harness (all tables/figures with shape assertions) is
 ``pytest benchmarks/ --benchmark-only``; the CLI offers the fast subset
@@ -118,6 +124,23 @@ def _cmd_fig6(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    from repro import backends
+
+    if args.exercise:
+        # Touch the Table 3 shape family so the report has content.
+        from repro.core.mesh import box_mesh_2d, box_mesh_3d
+        from repro.core.operators import LaplaceOperator
+
+        for mesh in (box_mesh_2d(4, 4, 8), box_mesh_3d(2, 2, 2, 7)):
+            lap = LaplaceOperator(mesh)
+            u = np.random.default_rng(0).standard_normal(mesh.local_shape)
+            for _ in range(3):
+                lap.apply(u)
+    print(backends.backend_report())
+    return 0
+
+
 def _cmd_table2(args) -> int:
     from repro.workloads.cylinder_model import Table2Case
 
@@ -140,6 +163,13 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Quick reproductions of Tufo & Fischer (SC'99).",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "matmul", "einsum", "flat"],
+        help="kernel backend for all tensor applies "
+             "(default: auto, or $REPRO_BACKEND)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="package summary")
     sub.add_parser("demo", help="Taylor-Green validation run")
@@ -152,7 +182,15 @@ def main(argv=None) -> int:
                     help="grid side (paper: 63 and 127)")
     p2 = sub.add_parser("table2", help="Schwarz variants on the cylinder mesh")
     p2.add_argument("--level", type=int, default=0, choices=[0, 1, 2])
+    pb = sub.add_parser("backends", help="kernel backend / auto-tuner report")
+    pb.add_argument("--exercise", action="store_true",
+                    help="run a few operator applies first so the tuner "
+                         "has shapes to report")
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from repro import backends as _backends
+
+        _backends.set_backend(args.backend)
     return {
         "info": _cmd_info,
         "demo": _cmd_demo,
@@ -161,6 +199,7 @@ def main(argv=None) -> int:
         "fig4": _cmd_fig4,
         "fig6": _cmd_fig6,
         "table2": _cmd_table2,
+        "backends": _cmd_backends,
     }[args.command](args)
 
 

@@ -61,14 +61,23 @@ class Assembler:
         add_flops(u.size, "comm")
         return np.bincount(self._flat_ids, weights=u.ravel(), minlength=self.n_global)
 
-    def scatter(self, g: np.ndarray) -> np.ndarray:
+    def scatter(self, g: np.ndarray, out: np.ndarray = None) -> np.ndarray:
         """Q g: copy global values out to the redundant local layout."""
-        return g[self._flat_ids].reshape(self.global_ids.shape)
+        if out is None:
+            return g[self._flat_ids].reshape(self.global_ids.shape)
+        np.take(g, self._flat_ids, out=out.reshape(-1))
+        return out
 
     # -- local-to-local operations (the gs_op analogues) --------------------------
-    def dssum(self, u: np.ndarray) -> np.ndarray:
-        """Direct-stiffness summation QQ^T u (shared nodes summed)."""
-        return self.scatter(self.gather(u))
+    def dssum(self, u: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """Direct-stiffness summation QQ^T u (shared nodes summed).
+
+        ``out`` (same shape as ``u``, not aliasing it) makes the scatter
+        half allocation-free; the gather half retains one global-length
+        ``bincount`` buffer (summing via ``np.add.at`` into a pooled buffer
+        is an order of magnitude slower than ``bincount``).
+        """
+        return self.scatter(self.gather(u), out=out)
 
     def dsavg(self, u: np.ndarray) -> np.ndarray:
         """Average shared nodes: makes any local field continuous."""

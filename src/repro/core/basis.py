@@ -25,6 +25,7 @@ from .quadrature import gauss_legendre, gauss_lobatto_legendre
 
 __all__ = [
     "barycentric_weights",
+    "gll_barycentric_weights",
     "lagrange_eval",
     "interpolation_matrix",
     "derivative_matrix",
@@ -44,15 +45,29 @@ def barycentric_weights(x: np.ndarray) -> np.ndarray:
     return 1.0 / np.prod(diff, axis=1)
 
 
-def lagrange_eval(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+@lru_cache(maxsize=None)
+def gll_barycentric_weights(n: int) -> np.ndarray:
+    """Barycentric weights of the order-``n`` GLL grid (cached).
+
+    Point location re-evaluates the cardinal functions inside every Newton
+    iteration; caching the weights keeps that loop free of the O(n^2)
+    weight recomputation.
+    """
+    w = barycentric_weights(gauss_lobatto_legendre(n)[0])
+    w.flags.writeable = False
+    return w
+
+
+def lagrange_eval(x: np.ndarray, y: np.ndarray, weights=None) -> np.ndarray:
     """Matrix ``L[i, j] = h_j(y_i)`` of Lagrange cardinal functions on ``x``.
 
     Barycentric second form; exact (row of identity) when ``y_i`` coincides
-    with a node.
+    with a node.  ``weights`` skips the weight computation when the caller
+    has them cached (see :func:`gll_barycentric_weights`).
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
-    w = barycentric_weights(x)
+    w = barycentric_weights(x) if weights is None else np.asarray(weights)
     diff = y[:, None] - x[None, :]
     exact_rows, exact_cols = np.nonzero(np.abs(diff) < 1e-14)
     diff[exact_rows, :] = 1.0  # avoid division by zero; rows fixed below

@@ -19,9 +19,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .basis import gll_derivative_matrix, lagrange_eval
+from .basis import gll_barycentric_weights, gll_derivative_matrix, lagrange_eval
 from .mesh import Mesh
 from .quadrature import gll_points
+from .tensor import apply_1d
 
 __all__ = ["FieldEvaluator", "transfer_field"]
 
@@ -43,6 +44,7 @@ class FieldEvaluator:
         self.tol = newton_tol
         self.maxit = newton_maxit
         self.xi = gll_points(mesh.order)
+        self.bw = gll_barycentric_weights(mesh.order)
         self.dmat = np.asarray(gll_derivative_matrix(mesh.order))
         # Element bounding boxes (loose inflation guards deformed edges).
         K = mesh.K
@@ -94,7 +96,10 @@ class FieldEvaluator:
         """Evaluate the coordinate map and its Jacobian at one reference pt."""
         nd = self.mesh.ndim
         # 1-D cardinal values / derivatives at xi_a per direction.
-        l_vals = [lagrange_eval(self.xi, np.array([xi[a]]))[0] for a in range(nd)]
+        l_vals = [
+            lagrange_eval(self.xi, np.array([xi[a]]), weights=self.bw)[0]
+            for a in range(nd)
+        ]
         # h_j'(xi) = sum_m h_m(xi) D[m, j]  (interpolate the derivative
         # polynomial from its nodal values).
         l_ders = [l_vals[a] @ self.dmat for a in range(nd)]
@@ -113,11 +118,12 @@ class FieldEvaluator:
     def _contract(arr: np.ndarray, facs: List[np.ndarray]) -> float:
         """Contract an element array (axes t,s,r) with per-direction vectors
         ordered (r, s[, t])."""
-        out = arr
+        # Each vector is a (1, n) operator along its tensor direction, so the
+        # contraction runs through the kernel backend like every other apply.
+        out = np.asarray(arr)[None, ...]
         for a, f in enumerate(facs):
-            out = np.tensordot(out, f, axes=([out.ndim - 1], [0]))
-            # contracting the last axis each time walks r, then s, then t
-        return float(out)
+            out = apply_1d(np.asarray(f)[None, :], out, a)
+        return float(out.reshape(-1)[0])
 
     def locate(self, points: np.ndarray) -> List[Optional[Tuple[int, np.ndarray]]]:
         """Find (element, reference coords) for each query point (or None)."""

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backends.base import Workspace
 from ..perf.flops import add_flops
 from .assembly import Assembler
 from .basis import interpolation_matrix
@@ -132,12 +133,15 @@ class FieldFilter:
                 w = ((n_modes - j) / n_modes) ** 2
                 sigma[n - j] = 1.0 - self.alpha * w
             self.f1d = modal_filter_1d(n, sigma)
+        self._ws = Workspace()
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         """Filter one batched scalar field."""
         if self.alpha == 0.0:
             return u
-        out = apply_tensor([self.f1d] * self.mesh.ndim, u)
+        # Workspace ping-pong: the once-per-step filter allocates nothing in
+        # the tensor stage; dsavg produces the fresh continuous output.
+        out = apply_tensor([self.f1d] * self.mesh.ndim, u, workspace=self._ws)
         add_flops(out.size, "pointwise")
         return self.assembler.dsavg(out)
 

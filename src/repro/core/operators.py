@@ -21,17 +21,19 @@ Exact assembled diagonals are provided for Jacobi preconditioning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 import numpy as np
 
+from ..backends import dispatch as _dispatch
+from ..backends.base import Workspace
 from ..perf.flops import add_flops
 from .assembly import Assembler, DirichletMask
 from .basis import gll_derivative_matrix
 from .element import GeomFactors, geometric_factors
 from .mesh import Mesh
-from .tensor import apply_1d, grad_2d, grad_3d, grad_transpose_2d, grad_transpose_3d
+from .tensor import apply_1d
 
 __all__ = [
     "MassOperator",
@@ -51,9 +53,12 @@ class MassOperator:
     def __init__(self, geom: GeomFactors):
         self.geom = geom
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    def apply(self, u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         add_flops(u.size, "pointwise")
-        return self.geom.bm * u
+        if out is None:
+            return self.geom.bm * u
+        np.multiply(self.geom.bm, u, out=out)
+        return out
 
     __call__ = apply
 
@@ -89,6 +94,10 @@ class LaplaceOperator:
         self.mesh = mesh
         self.geom = geom if geom is not None else geometric_factors(mesh)
         self.d = gll_derivative_matrix(mesh.order)
+        # Pre-transposed, contiguous derivative matrix for the adjoint
+        # applies (avoids a copy at every backend-boundary sanitization).
+        self.dt = np.ascontiguousarray(np.asarray(self.d).T)
+        self._ws = Workspace()
         if coeff is not None:
             coeff = np.asarray(coeff, dtype=float)
             if coeff.shape != mesh.local_shape:
@@ -101,21 +110,47 @@ class LaplaceOperator:
         else:
             self._g = self.geom.g
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    def apply(self, u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``A u`` — all mxm work through the backend, all intermediates
+        (gradients, fluxes, accumulators) from the operator's workspace, so
+        steady-state applies allocate nothing beyond the optional ``out``."""
         g = self._g
+        ws = self._ws
+        shp = u.shape
+        tmp = ws.get("tmp", shp)
+        work = ws.get("gtw", shp)
         if self.mesh.ndim == 2:
-            ur, us = grad_2d(self.d, u)
-            fr = g[0] * ur + g[1] * us
-            fs = g[1] * ur + g[2] * us
+            ur = apply_1d(self.d, u, 0, out=ws.get("ur", shp))
+            us = apply_1d(self.d, u, 1, out=ws.get("us", shp))
+            fr = ws.get("fr", shp)
+            fs = ws.get("fs", shp)
+            np.multiply(g[1], us, out=fr)
+            np.multiply(g[1], ur, out=fs)
+            np.multiply(g[0], ur, out=tmp)
+            fr += tmp
+            np.multiply(g[2], us, out=tmp)
+            fs += tmp
             add_flops(6 * u.size, "pointwise")
-            return grad_transpose_2d(self.d, fr, fs)
-        ur, us, ut = grad_3d(self.d, u)
+            return _dispatch.grad_transpose(self.dt, (fr, fs), out=out, work=work)
+        ur = apply_1d(self.d, u, 0, out=ws.get("ur", shp))
+        us = apply_1d(self.d, u, 1, out=ws.get("us", shp))
+        ut = apply_1d(self.d, u, 2, out=ws.get("ut", shp))
         g_rr, g_rs, g_rt, g_ss, g_st, g_tt = g
-        fr = g_rr * ur + g_rs * us + g_rt * ut
-        fs = g_rs * ur + g_ss * us + g_st * ut
-        ft = g_rt * ur + g_st * us + g_tt * ut
+        fr = ws.get("fr", shp)
+        fs = ws.get("fs", shp)
+        ft = ws.get("ft", shp)
+        for f, (ga, gb, gc) in (
+            (fr, (g_rr, g_rs, g_rt)),
+            (fs, (g_rs, g_ss, g_st)),
+            (ft, (g_rt, g_st, g_tt)),
+        ):
+            np.multiply(ga, ur, out=f)
+            np.multiply(gb, us, out=tmp)
+            f += tmp
+            np.multiply(gc, ut, out=tmp)
+            f += tmp
         add_flops(15 * u.size, "pointwise")
-        return grad_transpose_3d(self.d, fr, fs, ft)
+        return _dispatch.grad_transpose(self.dt, (fr, fs, ft), out=out, work=work)
 
     __call__ = apply
 
@@ -171,10 +206,23 @@ class HelmholtzOperator:
         self.mass = MassOperator(self.geom)
         self.h1 = h1
         self.h0 = h0
+        self._ws = Workspace()
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    def apply(self, u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``h1 A u + h0 B u`` with workspace-pooled intermediates.
+
+        The mass term is formed *before* the stiffness term writes ``out``,
+        so ``apply(u, out=buf)`` stays correct even when callers reuse one
+        buffer across operators.
+        """
         add_flops(3 * u.size, "pointwise")
-        return self.h1 * self.laplace.apply(u) + self.h0 * self.mass.apply(u)
+        bu = self._ws.get("bu", u.shape)
+        self.mass.apply(u, out=bu)
+        np.multiply(bu, self.h0, out=bu)
+        out = self.laplace.apply(u, out=out)
+        np.multiply(out, self.h1, out=out)
+        out += bu
+        return out
 
     __call__ = apply
 
@@ -202,9 +250,25 @@ class SEMSystem:
     mask: DirichletMask
     op_local: Callable[[np.ndarray], np.ndarray]
     op_diag_local: Optional[Callable[[], np.ndarray]] = None
+    _ws: Workspace = field(default_factory=Workspace, repr=False)
+    _op_takes_out: Optional[bool] = field(default=None, repr=False)
 
     def matvec(self, u: np.ndarray) -> np.ndarray:
-        return self.mask.apply(self.assembler.dssum(self.op_local(u)))
+        # Route the local apply into a pooled buffer when the operator
+        # supports ``out=`` (all operators in this module do); the probe
+        # result is cached so generic callables pay one TypeError ever.
+        if self._op_takes_out is None:
+            try:
+                au = self.op_local(u, out=self._ws.get("au", u.shape))
+                self._op_takes_out = True
+            except TypeError:
+                au = self.op_local(u)
+                self._op_takes_out = False
+        elif self._op_takes_out:
+            au = self.op_local(u, out=self._ws.get("au", u.shape))
+        else:
+            au = self.op_local(u)
+        return self.mask.apply_inplace(self.assembler.dssum(au))
 
     def rhs(self, f_local: np.ndarray) -> np.ndarray:
         """Assemble a locally-evaluated weighted residual into system RHS."""

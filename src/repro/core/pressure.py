@@ -27,13 +27,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..backends.base import Workspace
 from ..perf.flops import add_flops
 from .assembly import Assembler, DirichletMask
 from .basis import gl_to_gll_matrix, gll_derivative_matrix, gll_to_gl_matrix
 from .element import GeomFactors, geometric_factors
 from .mesh import Mesh
 from .quadrature import gl_weights
-from .tensor import apply_tensor, grad_2d, grad_3d, grad_transpose_2d, grad_transpose_3d
+from .tensor import apply_1d, apply_tensor
 
 __all__ = ["PressureOperator"]
 
@@ -84,8 +85,10 @@ class PressureOperator:
         self.vel_mask = vel_mask
 
         self.d = gll_derivative_matrix(self.n)
+        self.dt = np.ascontiguousarray(np.asarray(self.d).T)
         self.j_down = np.asarray(gll_to_gl_matrix(self.n, self.m))  # GLL -> GL
         self.j_up = self.j_down.T.copy()  # used only via explicit transposes
+        self._ws = Workspace()  # hot-path scratch (D / D^T / E applies)
 
         nd = mesh.ndim
         #: pressure-grid field shape
@@ -166,57 +169,96 @@ class PressureOperator:
         return float(np.sqrt(max(self.dot(p, p), 0.0)))
 
     # ----------------------------------------------------------- D and D^T
-    def apply_div(self, u_vec: List[np.ndarray]) -> np.ndarray:
+    def apply_div(
+        self, u_vec: List[np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Weak divergence ``D u``: velocity components -> pressure grid.
 
         ``(D u)_lm = sum_c integral_ref q_lm sum_a cof[a][c] d(u_c)/d(xi_a)``
         with the integral evaluated by GL quadrature on the pressure grid.
+        All tensor contractions run through the kernel backend; scratch
+        comes from the operator's workspace (``out`` is overwritten).
         """
         nd = self.mesh.ndim
         if len(u_vec) != nd:
             raise ValueError(f"need {nd} velocity components, got {len(u_vec)}")
         down = [self.j_down] * nd
-        out = np.zeros(self.p_shape)
-        grad = grad_2d if nd == 2 else grad_3d
+        ws = self._ws
+        out = np.zeros(self.p_shape) if out is None else out
+        out.fill(0.0)
+        tmp_p = ws.get("div_tmp_p", self.p_shape)
+        vshape = self.mesh.local_shape
+        deriv = ws.get("div_deriv", vshape)
         for c in range(nd):
-            derivs = grad(self.d, u_vec[c])
+            uc = np.asarray(u_vec[c])
             for a in range(nd):
-                out += self.wcof[a][c] * apply_tensor(down, derivs[a])
+                apply_1d(self.d, uc, a, out=deriv)
+                interp = apply_tensor(down, deriv, workspace=ws)
+                np.multiply(self.wcof[a][c], interp, out=tmp_p)
+                out += tmp_p
         if self._axi_extra is not None:
-            out += self._axi_extra * apply_tensor(down, np.asarray(u_vec[1]))
+            interp = apply_tensor(down, np.asarray(u_vec[1]), workspace=ws)
+            np.multiply(self._axi_extra, interp, out=tmp_p)
+            out += tmp_p
         add_flops(2 * nd * nd * out.size, "pointwise")
         return out
 
-    def apply_div_t(self, p: np.ndarray) -> List[np.ndarray]:
+    def apply_div_t(
+        self, p: np.ndarray, outs: Optional[List[np.ndarray]] = None
+    ) -> List[np.ndarray]:
         """Weak gradient ``D^T p``: pressure grid -> velocity components.
 
         Exact transpose of :func:`apply_div` w.r.t. the plain local inner
         products on both grids (verified by the adjoint unit tests).  The
-        result is a *local* (unassembled) velocity-space vector.
+        result is a *local* (unassembled) velocity-space vector.  ``outs``
+        (one buffer per component, overwritten) makes the call
+        allocation-free.
         """
         nd = self.mesh.ndim
-        up = [self.j_down.T] * nd  # transpose of the down-interpolation
-        grad_t = grad_transpose_2d if nd == 2 else grad_transpose_3d
-        out = []
+        up = [self.j_up] * nd  # transpose of the down-interpolation
+        ws = self._ws
+        vshape = self.mesh.local_shape
+        tmp_p = ws.get("divt_tmp_p", self.p_shape)
+        lifted = ws.get("divt_lift", vshape)
+        if outs is None:
+            outs = [np.zeros(vshape) for _ in range(nd)]
         for c in range(nd):
-            pieces = [apply_tensor(up, self.wcof[a][c] * p) for a in range(nd)]
-            out.append(grad_t(self.d, *pieces))
+            oc = outs[c]
+            oc.fill(0.0)
+            for a in range(nd):
+                np.multiply(self.wcof[a][c], p, out=tmp_p)
+                interp = apply_tensor(up, tmp_p, workspace=ws)
+                apply_1d(self.dt, interp, a, out=lifted)
+                oc += lifted
         if self._axi_extra is not None:
-            out[1] = out[1] + apply_tensor(up, self._axi_extra * p)
+            np.multiply(self._axi_extra, p, out=tmp_p)
+            outs[1] += apply_tensor(up, tmp_p, workspace=ws)
         add_flops(nd * nd * p.size, "pointwise")
-        return out
+        return outs
 
     # ----------------------------------------------------------------- E
     def apply_binv(self, w_vec: List[np.ndarray]) -> List[np.ndarray]:
         """Masked assembled inverse mass: local -> continuous velocity fields."""
         return [self.assembler.dssum(w) * self._inv_mass for w in w_vec]
 
-    def apply_e(self, p: np.ndarray) -> np.ndarray:
-        """Consistent Poisson operator ``E p = D B^{-1} D^T p``."""
-        w = self.apply_div_t(p)
-        v = self.apply_binv(w)
+    def apply_e(self, p: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Consistent Poisson operator ``E p = D B^{-1} D^T p``.
+
+        The E-solve hot path: all intermediates live in the operator
+        workspace, so per-iteration applies allocate nothing once the pool
+        is warm (pass ``out`` to avoid the final allocation too).
+        """
+        ws = self._ws
+        nd = self.mesh.ndim
+        vshape = self.mesh.local_shape
+        w = [ws.get(f"e_w{c}", vshape) for c in range(nd)]
+        self.apply_div_t(p, outs=w)
+        for c in range(nd):
+            v = ws.get(f"e_v{c}", vshape)
+            self.assembler.dssum(w[c], out=v)
+            np.multiply(v, self._inv_mass, out=w[c])
         add_flops(2 * sum(x.size for x in w), "pointwise")
-        return self.apply_div(v)
+        return self.apply_div(w, out=out)
 
     def make_rhs_from_velocity(self, u_vec: List[np.ndarray]) -> np.ndarray:
         """Pressure RHS ``-D u`` (divergence residual), mean-removed if singular."""

@@ -20,16 +20,22 @@ DGEMM-dominated inner loop.  Direction indices follow the reference
 coordinates of Fig. 2: ``0 = r`` (fastest-varying array axis), ``1 = s``,
 ``2 = t``.
 
-All kernels tally their analytic flop counts in :mod:`repro.perf.flops`.
+Which kernel actually executes is decided by :mod:`repro.backends`: every
+call here routes through the shape-aware dispatch layer (auto-tuned by
+default, overridable via ``REPRO_BACKEND`` / ``--backend``), which also
+performs operand sanitization and the analytic flop accounting in
+:mod:`repro.perf.flops`.  All kernels accept an ``out=`` buffer so hot
+loops can run allocation-free; ``out`` must not alias the input field.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..perf.flops import add_flops
+from ..backends import dispatch as _dispatch
+from ..backends.base import Workspace
 
 __all__ = [
     "apply_1d",
@@ -50,77 +56,111 @@ def _check_batched(u: np.ndarray, ndim: int) -> None:
         )
 
 
-def apply_1d(op: np.ndarray, u: np.ndarray, direction: int) -> np.ndarray:
+def apply_1d(
+    op: np.ndarray,
+    u: np.ndarray,
+    direction: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Apply 1-D operator ``op`` along tensor ``direction`` of batched ``u``.
 
     ``u`` has shape ``(K, [n_t,] n_s, n_r)``; ``direction`` 0 means r (last
     axis), 1 means s, 2 means t.  ``op`` is ``(m, n)`` with ``n`` matching
     the extent of the chosen direction; the result swaps that extent to
     ``m``.  Equivalent to ``(I x .. x op x .. x I) u`` element by element.
+
+    ``out``, when given, receives the result (C-contiguous float64, correct
+    shape, not aliasing ``u``) and is returned; otherwise a fresh array is
+    allocated.  The kernel that runs is chosen by the active backend.
     """
-    op = np.asarray(op)
-    m, n = op.shape
-    ndim = u.ndim - 1
-    if direction < 0 or direction >= ndim:
-        raise ValueError(f"direction {direction} out of range for {ndim}-D field")
-    axis = u.ndim - 1 - direction
-    if u.shape[axis] != n:
-        raise ValueError(
-            f"operator expects extent {n} along direction {direction}, "
-            f"field has {u.shape[axis]}"
-        )
-    add_flops(2.0 * m * n * (u.size // n), "mxm")
-    if direction == 0:
-        return np.ascontiguousarray(u @ op.T)
-    if direction == 1:
-        # (m, n) @ (..., n, n_r): numpy matmul broadcasts over leading axes.
-        return np.ascontiguousarray(op @ u)
-    # direction == 2 (3-D only): flatten the trailing (s, r) plane.
-    K, nt, ns, nr = u.shape
-    out = op @ u.reshape(K, nt, ns * nr)
-    return np.ascontiguousarray(out.reshape(K, m, ns, nr))
+    return _dispatch.apply_1d(op, u, direction, out=out)
 
 
-def apply_tensor(ops: Sequence[np.ndarray], u: np.ndarray) -> np.ndarray:
+def apply_tensor(
+    ops: Sequence[Optional[np.ndarray]],
+    u: np.ndarray,
+    workspace: Optional[Workspace] = None,
+) -> np.ndarray:
     """Apply ``(op_t x op_s x op_r) u`` for each element.
 
     ``ops`` is ordered ``(op_r, op_s[, op_t])`` — one operator per tensor
     direction, each possibly rectangular (used e.g. for the PN->PN-2 grid
     transfer and the filter).  Pass ``None`` entries to skip a direction
     (identity).
+
+    With a ``workspace``, intermediate stages ping-pong between two pooled
+    buffers instead of allocating; the *returned array is workspace-owned*
+    in that case, so callers must copy or consume it before the next
+    workspace-using call.
     """
     ndim = u.ndim - 1
     if len(ops) != ndim:
         raise ValueError(f"need {ndim} operators for a {ndim}-D field, got {len(ops)}")
     out = u
+    stage = 0
     for direction, op in enumerate(ops):
         if op is not None:
-            out = apply_1d(op, out, direction)
+            if workspace is not None:
+                shape = list(out.shape)
+                shape[out.ndim - 1 - direction] = np.asarray(op).shape[0]
+                buf = workspace.get(f"pp{stage % 2}", tuple(shape))
+                out = apply_1d(op, out, direction, out=buf)
+                stage += 1
+            else:
+                out = apply_1d(op, out, direction)
     return out
 
 
-def grad_2d(d: np.ndarray, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def grad_2d(
+    d: np.ndarray,
+    u: np.ndarray,
+    outs: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
     """Reference-space gradient ``(du/dr, du/ds)`` of a batched 2-D field."""
     _check_batched(u, 2)
-    return apply_1d(d, u, 0), apply_1d(d, u, 1)
+    return _dispatch.grad(d, u, outs=outs)
 
 
-def grad_transpose_2d(d: np.ndarray, wr: np.ndarray, ws: np.ndarray) -> np.ndarray:
-    """Adjoint of :func:`grad_2d`: ``D_r^T wr + D_s^T ws``."""
-    return apply_1d(d.T, wr, 0) + apply_1d(d.T, ws, 1)
+def grad_transpose_2d(
+    d: np.ndarray,
+    wr: np.ndarray,
+    ws: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    work: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Adjoint of :func:`grad_2d`: ``D_r^T wr + D_s^T ws``.
+
+    Callers on the hot path should pre-transpose ``d`` once and use
+    :func:`repro.backends.grad_transpose` directly; this wrapper transposes
+    per call for convenience.
+    """
+    return _dispatch.grad_transpose(
+        np.ascontiguousarray(d.T), (wr, ws), out=out, work=work
+    )
 
 
-def grad_3d(d: np.ndarray, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def grad_3d(
+    d: np.ndarray,
+    u: np.ndarray,
+    outs: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Reference-space gradient ``(du/dr, du/ds, du/dt)`` of a 3-D field."""
     _check_batched(u, 3)
-    return apply_1d(d, u, 0), apply_1d(d, u, 1), apply_1d(d, u, 2)
+    return _dispatch.grad(d, u, outs=outs)
 
 
 def grad_transpose_3d(
-    d: np.ndarray, wr: np.ndarray, ws: np.ndarray, wt: np.ndarray
+    d: np.ndarray,
+    wr: np.ndarray,
+    ws: np.ndarray,
+    wt: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    work: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Adjoint of :func:`grad_3d`: ``D_r^T wr + D_s^T ws + D_t^T wt``."""
-    return apply_1d(d.T, wr, 0) + apply_1d(d.T, ws, 1) + apply_1d(d.T, wt, 2)
+    return _dispatch.grad_transpose(
+        np.ascontiguousarray(d.T), (wr, ws, wt), out=out, work=work
+    )
 
 
 def kron_matvec(ops: Sequence[np.ndarray], x: np.ndarray) -> np.ndarray:

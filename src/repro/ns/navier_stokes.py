@@ -199,6 +199,11 @@ class NavierStokesSolver:
         self._helmholtz: Dict[int, HelmholtzOperator] = {}
         self._helmholtz_diag: Dict[int, np.ndarray] = {}
 
+        # Scratch for the Helmholtz CG matvec: the local operator apply lands
+        # in this buffer every iteration (dssum then produces the fresh
+        # assembled result), so the inner solves do not allocate per apply.
+        self._helm_out = np.empty(mesh.local_shape)
+
         # State.
         self.t = 0.0
         self.step_count = 0
@@ -416,7 +421,9 @@ class NavierStokesSolver:
             b = self.mask.apply(self.assembler.dssum(rhs_local))
             x0 = self.mask.apply(self.u[c] - u_bound[c])
             res = pcg(
-                lambda v: self.mask.apply(self.assembler.dssum(helm.apply(v))),
+                lambda v: self.mask.apply(
+                    self.assembler.dssum(helm.apply(v, out=self._helm_out))
+                ),
                 b,
                 dot=self.assembler.dot,
                 precond=precond,

@@ -105,6 +105,9 @@ def pcg(
     z = precond(r) if precond is not None else r
     p = z.copy()
     rz = dot(r, z)
+    # One scratch array serves every axpy below; together with the in-place
+    # updates the iteration allocates nothing beyond what matvec/precond do.
+    work = np.empty_like(p)
 
     for it in range(1, maxiter + 1):
         ap = matvec(p)
@@ -120,8 +123,10 @@ def pcg(
                 f"PCG breakdown: p^T A p = {pap:.3e} <= 0 at iteration {it}"
             )
         alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
+        np.multiply(alpha, p, out=work)
+        x += work
+        np.multiply(alpha, ap, out=work)
+        r -= work
         add_flops(4 * b.size, "pointwise")
         norm_r = float(np.sqrt(max(dot(r, r), 0.0)))
         history.append(norm_r)
@@ -133,7 +138,8 @@ def pcg(
         rz_new = dot(r, z)
         beta = rz_new / rz
         rz = rz_new
-        p = z + beta * p
+        p *= beta
+        p += z
         add_flops(2 * b.size, "pointwise")
 
     return CGResult(x, maxiter, False, norm_r, r0, history)

@@ -25,11 +25,13 @@ spacings of the (possibly deformed) element, exactly that approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg
 
+from ..backends.base import Workspace
 from ..perf.flops import add_flops
 
 __all__ = [
@@ -161,34 +163,50 @@ class FDMSolver:
         if np.any(denom <= 0):
             raise ValueError("FDM eigenvalue sum not positive; check grids")
         self.inv_denom = 1.0 / denom
+        self._ws = Workspace()  # ping-pong scratch for allocation-free solves
 
-    def solve(self, r: np.ndarray) -> np.ndarray:
-        """Apply ``A_tilde^{-1}`` to a batched local field ``(K, [n,] n, n)``."""
+    def solve(self, r: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply ``A_tilde^{-1}`` to a batched local field ``(K, [n,] n, n)``.
+
+        The per-element eigenvector matrices differ element to element, so
+        the contractions here are batched (stacked) matmuls rather than the
+        shared-operator kernels of :mod:`repro.backends`; intermediates
+        ping-pong between two pooled buffers so repeated preconditioner
+        applications allocate nothing.  ``out`` (C-contiguous, not aliasing
+        ``r``) receives the result when given.
+        """
         if r.shape != (self.K,) + self.shape:
             raise ValueError(
                 f"expected field of shape {(self.K,) + self.shape}, got {r.shape}"
             )
-        u = r
+        if out is None:
+            out = np.empty_like(r)
+        a = self._ws.get("fdm_a", r.shape)
+        b = self._ws.get("fdm_b", r.shape)
         # S^T along each direction, diagonal scale, then S back.
         if self.ndim == 2:
-            u = np.matmul(np.matmul(self.st[1], u), self.s[0])  # rows: s, cols: r
-            u = u * self.inv_denom
-            u = np.matmul(np.matmul(self.s[1], u), self.st[0])
-            add_flops(8.0 * u.size * self.shape[-1], "mxm")
-            return u
-        K, nt, ns, nr = u.shape
+            np.matmul(self.st[1], r, out=a)  # rows: s, cols: r
+            np.matmul(a, self.s[0], out=b)
+            np.multiply(b, self.inv_denom, out=a)
+            np.matmul(self.s[1], a, out=b)
+            np.matmul(b, self.st[0], out=out)
+            add_flops(8.0 * r.size * self.shape[-1], "mxm")
+            return out
+        K, nt, ns, nr = r.shape
         # direction r (last axis) and s (middle) via matmul; t via reshape.
-        u = np.matmul(u, self.s[0][:, None])  # S_r^T applied: u @ S_r
-        u = np.matmul(self.st[1][:, None], u)
-        u = np.matmul(
-            self.st[2], u.reshape(K, nt, ns * nr)
-        ).reshape(K, nt, ns, nr)
-        u = u * self.inv_denom
-        u = np.matmul(u, self.st[0][:, None])
-        u = np.matmul(self.s[1][:, None], u)
-        u = np.matmul(self.s[2], u.reshape(K, nt, ns * nr)).reshape(K, nt, ns, nr)
-        add_flops(12.0 * u.size * self.shape[-1], "mxm")
-        return u
+        np.matmul(r, self.s[0][:, None], out=a)  # S_r^T applied: u @ S_r
+        np.matmul(self.st[1][:, None], a, out=b)
+        np.matmul(
+            self.st[2], b.reshape(K, nt, ns * nr), out=a.reshape(K, nt, ns * nr)
+        )
+        np.multiply(a, self.inv_denom, out=b)
+        np.matmul(b, self.st[0][:, None], out=a)
+        np.matmul(self.s[1][:, None], a, out=b)
+        np.matmul(
+            self.s[2], b.reshape(K, nt, ns * nr), out=out.reshape(K, nt, ns * nr)
+        )
+        add_flops(12.0 * r.size * self.shape[-1], "mxm")
+        return out
 
     def dense_inverse(self, k: int) -> np.ndarray:
         """Explicit ``A_tilde^{-1}`` of element k (for tests/small problems)."""
@@ -210,6 +228,26 @@ def line_consistent_poisson(
     dirichlet_hi: bool,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """1-D consistent-Poisson building blocks for the tensor local solves.
+
+    Results are cached on ``(h_list, order, bc)``: on (nearly) uniform
+    meshes most elements share the same patch geometry, so the Schwarz
+    setup pays for each distinct line operator once.  The returned arrays
+    are read-only; copy before mutating.
+    """
+    return _line_consistent_poisson(
+        tuple(float(h) for h in h_list), int(order),
+        bool(dirichlet_lo), bool(dirichlet_hi),
+    )
+
+
+@lru_cache(maxsize=None)
+def _line_consistent_poisson(
+    h_list: Tuple[float, ...],
+    order: int,
+    dirichlet_lo: bool,
+    dirichlet_hi: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached implementation of :func:`line_consistent_poisson`.
 
     For a line of consecutive 1-D spectral elements with lengths ``h_list``
     and polynomial order ``order`` (velocity), returns the pair
@@ -259,7 +297,11 @@ def line_consistent_poisson(
         binv[-1] = 0.0
     e_line = dl @ (binv[:, None] * dl.T)
     x_line = dm @ (binv[:, None] * dm.T)
-    return 0.5 * (e_line + e_line.T), 0.5 * (x_line + x_line.T)
+    e_line = 0.5 * (e_line + e_line.T)
+    x_line = 0.5 * (x_line + x_line.T)
+    e_line.flags.writeable = False
+    x_line.flags.writeable = False
+    return e_line, x_line
 
 
 def generalized_fdm_pair(

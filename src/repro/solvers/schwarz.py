@@ -108,9 +108,13 @@ class PressureLattice:
         ]
 
     # -- element <-> lattice field transfer -----------------------------------
-    def to_lattice(self, p: np.ndarray) -> np.ndarray:
-        """Pressure field ``(K, m, ..)`` -> lattice array (bijective)."""
-        out = np.empty(self.shape)
+    def to_lattice(self, p: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Pressure field ``(K, m, ..)`` -> lattice array (bijective).
+
+        ``out`` (lattice-shaped, overwritten) avoids the allocation.
+        """
+        if out is None:
+            out = np.empty(self.shape)
         out.ravel()[self._flat_index.ravel()] = p.ravel()
         return out
 
@@ -199,6 +203,10 @@ class SchwarzPreconditioner:
             self._weight = 1.0 / np.sqrt(cnt)
         else:
             self._weight = None
+        # Persistent lattice-shaped buffers: every preconditioner apply
+        # reuses these instead of allocating two lattice arrays per call.
+        self._lat_in = np.empty(self.lattice.shape)
+        self._lat_acc = np.empty(self.lattice.shape)
 
     # ------------------------------------------------------------------ setup
     def _element_lengths(self) -> np.ndarray:
@@ -338,10 +346,11 @@ class SchwarzPreconditioner:
     def local_solves(self, r: np.ndarray) -> np.ndarray:
         """``sum_k R_k^T A~_k^{-1} R_k r`` on the pressure grid."""
         lat = self.lattice
-        rl = lat.to_lattice(r)
+        rl = lat.to_lattice(r, out=self._lat_in)
         if self._weight is not None:
-            rl = rl * self._weight
-        out = np.zeros(lat.shape)
+            rl *= self._weight
+        out = self._lat_acc
+        out.fill(0.0)
         if self.variant == "fdm":
             nd = self.mesh.ndim
             for ids, (s_dir, inv_den) in zip(self._subdomain_ix, self._fdm_data):

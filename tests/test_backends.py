@@ -1,0 +1,246 @@
+"""Backend layer tests: parity of every registered kernel against the
+reference, boundary sanitization, aliasing rejection, selection machinery,
+and the auto-tuner's shape-aware choices (the Table 3 architecture)."""
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import dispatch
+from repro.core.element import geometric_factors
+from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
+from repro.core.operators import LaplaceOperator, build_poisson_system
+from repro.core.pressure import PressureOperator
+from repro.core.tensor import apply_1d
+from repro.solvers.cg import pcg
+
+FIXED = [n for n in backends.available_backends() if n != "auto"]
+
+
+def deformed_2d(nelem=3, order=6):
+    return map_mesh(
+        box_mesh_2d(nelem, nelem, order),
+        lambda x, y: (x + 0.07 * np.sin(np.pi * y), y + 0.05 * x * x),
+    )
+
+
+def deformed_3d(nelem=2, order=4):
+    return map_mesh(
+        box_mesh_3d(nelem, nelem, nelem, order),
+        lambda x, y, z: (x + 0.05 * y * z, y + 0.04 * np.sin(np.pi * x), z),
+    )
+
+
+class TestRegistry:
+    def test_at_least_three_fixed_backends(self):
+        assert len(FIXED) >= 3
+        assert "matmul" in FIXED and "einsum" in FIXED and "flat" in FIXED
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backends.get_backend("no-such-kernel")
+
+    def test_set_and_restore(self):
+        prev = backends.active_backend().name
+        try:
+            assert backends.set_backend("matmul").name == "matmul"
+            assert backends.active_backend().name == "matmul"
+        finally:
+            backends.set_backend(prev)
+
+    def test_use_backend_context_restores(self):
+        prev = backends.active_backend()
+        with backends.use_backend("einsum") as b:
+            assert b.name == "einsum"
+            assert backends.active_backend() is b
+        assert backends.active_backend() is prev
+
+
+class TestApply1dParity:
+    """Every backend must agree with the einsum reference to near machine
+    precision on every direction of 2-D and 3-D fields."""
+
+    @pytest.mark.parametrize("name", FIXED + ["auto"])
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_all_directions_match_reference(self, name, ndim):
+        rng = np.random.default_rng(7)
+        shape = (5, 4, 6, 7)[: ndim + 1]
+        u = rng.standard_normal(shape)
+        for direction in range(ndim):
+            n = shape[len(shape) - 1 - direction]
+            op = rng.standard_normal((n + 2, n))  # rectangular on purpose
+            sub = {
+                (2, 0): "ij,ksj->ksi",
+                (2, 1): "ij,kjr->kir",
+                (3, 0): "ij,ktsj->ktsi",
+                (3, 1): "ij,ktjr->ktir",
+                (3, 2): "ij,kjsr->kisr",
+            }[(ndim, direction)]
+            ref = np.einsum(sub, op, u)
+            with backends.use_backend(name):
+                got = apply_1d(op, u, direction)
+            assert np.max(np.abs(got - ref)) < 1e-12
+
+    @pytest.mark.parametrize("name", FIXED)
+    def test_out_buffer_is_filled_and_returned(self, name):
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((4, 5, 5))
+        op = rng.standard_normal((5, 5))
+        out = np.empty_like(u)
+        with backends.use_backend(name):
+            res = apply_1d(op, u, 1, out=out)
+        assert res is out
+        assert np.allclose(out, np.einsum("ij,kjr->kir", op, u))
+
+
+class TestSanitization:
+    def test_fortran_order_input_matches_c_order(self):
+        rng = np.random.default_rng(11)
+        u = rng.standard_normal((6, 8, 8))
+        op = rng.standard_normal((8, 8))
+        uf = np.asfortranarray(u)
+        assert not uf.flags["C_CONTIGUOUS"]
+        for name in FIXED + ["auto"]:
+            with backends.use_backend(name):
+                assert np.array_equal(apply_1d(op, uf, 0), apply_1d(op, u, 0))
+                assert np.array_equal(apply_1d(op, uf, 1), apply_1d(op, u, 1))
+
+    def test_non_float64_input_upcast_once(self):
+        u32 = np.arange(2 * 3 * 3, dtype=np.float32).reshape(2, 3, 3)
+        op = np.eye(3, dtype=np.float32)
+        got = apply_1d(op, u32, 0)
+        assert got.dtype == np.float64
+        assert np.allclose(got, u32.astype(np.float64))
+
+    def test_aliasing_out_raises(self):
+        u = np.ones((2, 4, 4))
+        op = np.eye(4)
+        with pytest.raises(ValueError, match="alias"):
+            apply_1d(op, u, 0, out=u)
+        with pytest.raises(ValueError, match="alias"):
+            apply_1d(op, u, 1, out=u[:, :, :])
+
+    def test_bad_out_shape_or_dtype_raises(self):
+        u = np.ones((2, 4, 4))
+        op = np.eye(4)
+        with pytest.raises(ValueError, match="shape"):
+            apply_1d(op, u, 0, out=np.empty((2, 4, 5)))
+        with pytest.raises(ValueError, match="float64"):
+            apply_1d(op, u, 0, out=np.empty((2, 4, 4), dtype=np.float32))
+
+    def test_bad_direction_and_extent_raise(self):
+        u = np.ones((2, 4, 4))
+        with pytest.raises(ValueError, match="direction"):
+            apply_1d(np.eye(4), u, 2)
+        with pytest.raises(ValueError, match="extent"):
+            apply_1d(np.eye(5), u, 0)
+
+
+class TestOperatorParity:
+    """Golden-case parity: the full Laplace/Helmholtz/E pipelines produce
+    identical results whichever backend runs the kernels."""
+
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_laplace_apply_parity(self, ndim):
+        mesh = deformed_2d() if ndim == 2 else deformed_3d()
+        lap = LaplaceOperator(mesh, geometric_factors(mesh))
+        u = np.random.default_rng(5).standard_normal(mesh.local_shape)
+        with backends.use_backend("einsum"):
+            ref = LaplaceOperator(mesh, geometric_factors(mesh)).apply(u)
+        for name in FIXED + ["auto"]:
+            with backends.use_backend(name):
+                got = lap.apply(u)
+            assert np.max(np.abs(got - ref)) < 1e-12
+
+    def test_poisson_solve_parity_2d(self):
+        mesh = deformed_2d()
+        b_ref = None
+        for name in FIXED + ["auto"]:
+            with backends.use_backend(name):
+                sys = build_poisson_system(mesh)
+                b = sys.rhs(mesh.field(1.0))
+                res = pcg(sys.matvec, b, dot=sys.dot, tol=1e-11, maxiter=500)
+            assert res.converged
+            if b_ref is None:
+                b_ref = res.x
+            else:
+                assert np.max(np.abs(res.x - b_ref)) < 1e-9
+
+    def test_pressure_e_apply_parity_2d(self):
+        mesh = deformed_2d(order=5)
+        p = np.random.default_rng(2).standard_normal(
+            (mesh.K,) + (mesh.order - 1,) * 2
+        )
+        ref = None
+        for name in FIXED + ["auto"]:
+            with backends.use_backend(name):
+                got = PressureOperator(mesh).apply_e(p)
+            if ref is None:
+                ref = got
+            else:
+                assert np.max(np.abs(got - ref)) < 1e-12
+
+
+class TestAutoTuner:
+    def test_tuner_picks_at_least_two_distinct_kernels(self):
+        """Across the Table 3 shape sweep the winner must vary (the whole
+        point of shape-aware dispatch)."""
+        disp = backends.AutoTuneDispatcher()
+        rng = np.random.default_rng(0)
+        saved = dict(dispatch._REGISTRY)
+        try:
+            for n in (4, 8, 12, 16):
+                for K in (8, 64):
+                    u2 = rng.standard_normal((K, n, n))
+                    u3 = rng.standard_normal((K, n, n, n))
+                    op = rng.standard_normal((n, n))
+                    for d in range(2):
+                        disp.apply_1d(op, u2, d)
+                    for d in range(3):
+                        disp.apply_1d(op, u3, d)
+        finally:
+            dispatch._REGISTRY.clear()
+            dispatch._REGISTRY.update(saved)
+        assert len(set(disp.choices.values())) >= 2, disp.report()
+
+    def test_tuning_happens_once_per_signature(self):
+        disp = backends.AutoTuneDispatcher()
+        u = np.random.default_rng(1).standard_normal((6, 5, 5))
+        op = np.eye(5)
+        for _ in range(4):
+            disp.apply_1d(op, u, 0)
+        key = disp.signature(op, u, 0)
+        assert disp.hits[key] == 4
+        assert len(disp.timings) == 1
+
+    def test_report_mentions_choices(self):
+        disp = backends.AutoTuneDispatcher()
+        u = np.ones((2, 3, 3))
+        disp.apply_1d(np.eye(3), u, 0)
+        text = disp.report()
+        assert "distinct kernels in use" in text
+
+    def test_backend_report_global(self):
+        u = np.ones((2, 3, 3))
+        apply_1d(np.eye(3), u, 1)
+        text = backends.backend_report()
+        assert text.startswith("active backend:")
+
+
+class TestEnvSelection:
+    def test_env_var_selects_backend(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro import backends; "
+            "print(backends.active_backend().name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "REPRO_BACKEND": "flat"},
+            cwd=".",
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "flat"
