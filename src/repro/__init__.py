@@ -12,7 +12,10 @@ full algorithmic stack:
   (FDM tensor local solves + vertex-mesh coarse grid),
 * successive-RHS projection, the XXT coarse-grid solver,
 * a simulated message-passing substrate (gather-scatter, RSB partitioning,
-  alpha-beta-gamma machine models) reproducing the paper's scaling studies.
+  alpha-beta-gamma machine models) reproducing the paper's scaling studies,
+* a unified observability layer (:mod:`repro.obs`): hierarchical trace
+  regions, solver telemetry, and schema-stable run reports
+  (``python -m repro report``; docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -45,6 +48,7 @@ from .core.operators import (
     build_poisson_system,
 )
 from .core.pressure import PressureOperator
+from . import obs
 from .ns.bcs import ScalarBC, VelocityBC
 from .ns.diagnostics import FlowDiagnostics
 from .ns.navier_stokes import NavierStokesSolver, StepStats
@@ -100,6 +104,7 @@ __all__ = [
     "save_vtk",
     "transfer_field",
     "map_mesh",
+    "obs",
     "pcg",
     "refine_mesh",
     "__version__",

@@ -27,6 +27,7 @@ from .dispatch import (
     apply_1d,
     available_backends,
     backend_report,
+    dispatch_choices,
     get_backend,
     grad,
     grad_transpose,
@@ -50,6 +51,7 @@ __all__ = [
     "set_backend",
     "use_backend",
     "backend_report",
+    "dispatch_choices",
     "apply_1d",
     "grad",
     "grad_transpose",

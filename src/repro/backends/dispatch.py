@@ -46,6 +46,7 @@ __all__ = [
     "set_backend",
     "use_backend",
     "backend_report",
+    "dispatch_choices",
     "AutoTuneDispatcher",
     "apply_1d",
     "grad",
@@ -217,6 +218,27 @@ def backend_report() -> str:
     """
     header = f"active backend: {_ACTIVE.name}"
     return header + "\n" + _DISPATCHER.report()
+
+
+def dispatch_choices() -> List[dict]:
+    """The tuner's decisions as JSON-ready rows (for ``repro.obs`` reports).
+
+    One row per tuned ``(op shape, field shape, direction)`` signature:
+    the winning kernel name and how many dispatches it has served.
+    """
+    rows = []
+    for key in sorted(_DISPATCHER.choices, key=repr):
+        op_s, u_s, d = key
+        rows.append(
+            {
+                "op_shape": list(op_s),
+                "field_shape": list(u_s),
+                "direction": int(d),
+                "kernel": _DISPATCHER.choices[key],
+                "hits": int(_DISPATCHER.hits.get(key, 0)),
+            }
+        )
+    return rows
 
 
 # honor REPRO_BACKEND at import time (CLI --backend overrides later).

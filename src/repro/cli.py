@@ -8,6 +8,7 @@
     python -m repro fig6  [--size n]  # coarse-solver comparison
     python -m repro table2 [--level L]# Schwarz variants on the cylinder mesh
     python -m repro backends          # kernel backend / auto-tuner report
+    python -m repro report [--steps N]# traced shear-layer run -> JSON report
 
 Every subcommand accepts a global ``--backend {auto,matmul,einsum,flat}``
 selecting the kernel backend all tensor-product applies route through
@@ -141,6 +142,87 @@ def _cmd_backends(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Traced shear-layer run -> schema-validated observability report.
+
+    Runs ``--steps`` timesteps of the Fig. 3 shear-layer workload with the
+    full observability layer enabled (region tree, solver telemetry,
+    backend dispatch choices), plus a simulated gather-scatter profile of
+    the same mesh partitioned over ``--ranks`` processors so the report
+    carries real mesh-derived communication volumes.  See
+    docs/OBSERVABILITY.md for the schema.
+    """
+    import json
+
+    from repro import obs
+    from repro.perf.flops import reset_flops
+    from repro.workloads.shear_layer import ShearLayerCase
+
+    obs.enable()
+    obs.reset_all()
+    reset_flops()
+    case = ShearLayerCase(
+        n_elements=args.elements,
+        order=args.order,
+        projection_window=args.projection_window,
+    )
+    sol = case.solver
+    for _ in range(args.steps):
+        sol.step()
+
+    if args.ranks > 1:
+        # Simulated parallel profile: partition this run's mesh, then push
+        # one field through the gather-scatter kernel per step on the
+        # ASCI-Red cost model — the Section 6 communication numbers.
+        import scipy.sparse as sp
+
+        from repro.parallel.comm import SimComm
+        from repro.parallel.gs import gs_init
+        from repro.parallel.machine import ASCI_RED_333
+        from repro.parallel.partition import recursive_spectral_bisection
+
+        mesh = case.mesh
+        adj = sp.csr_matrix(mesh.element_adjacency())
+        part = recursive_spectral_bisection(
+            adj, args.ranks, coords=mesh.element_centroids()
+        )
+        rank_elems = [np.nonzero(part == r)[0] for r in range(args.ranks)]
+        if all(e.size for e in rank_elems):
+            gs = gs_init([mesh.global_ids[e] for e in rank_elems])
+            comm = SimComm(ASCI_RED_333, args.ranks)
+            fields = [np.asarray(sol.u[0])[e] for e in rank_elems]
+            for _ in range(args.steps):
+                gs.gs_op(fields, "+", comm=comm)
+            obs.record_value(
+                "gs_simulated_seconds", comm.elapsed(), label=f"p{args.ranks}"
+            )
+
+    doc = obs.report_json(
+        meta={
+            "workload": "shear_layer",
+            "steps": args.steps,
+            "n_elements": args.elements,
+            "order": args.order,
+            "ranks": args.ranks,
+            "projection_window": args.projection_window,
+        }
+    )
+    obs.validate_report(doc)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.out} "
+              f"({len(doc['solves'])} solves, "
+              f"{doc['comm']['totals']['messages']} comm messages)")
+    if args.text or not args.out:
+        print(obs.report_text() if args.text else json.dumps(doc, indent=2,
+                                                             sort_keys=True))
+    obs.disable()
+    obs.reset_all()
+    return 0
+
+
 def _cmd_table2(args) -> int:
     from repro.workloads.cylinder_model import Table2Case
 
@@ -186,6 +268,19 @@ def main(argv=None) -> int:
     pb.add_argument("--exercise", action="store_true",
                     help="run a few operator applies first so the tuner "
                          "has shapes to report")
+    pr = sub.add_parser("report", help="traced shear-layer run -> JSON report")
+    pr.add_argument("--steps", type=int, default=10)
+    pr.add_argument("--elements", type=int, default=8,
+                    help="elements per direction (default 8)")
+    pr.add_argument("--order", type=int, default=8)
+    pr.add_argument("--ranks", type=int, default=4,
+                    help="ranks for the simulated gather-scatter profile "
+                         "(1 disables)")
+    pr.add_argument("--projection-window", type=int, default=10)
+    pr.add_argument("--out", default=None, help="write the JSON report here")
+    pr.add_argument("--text", action="store_true",
+                    help="print the Table-2-style text breakdown instead "
+                         "of raw JSON")
     args = parser.parse_args(argv)
     if args.backend is not None:
         from repro import backends as _backends
@@ -200,6 +295,7 @@ def main(argv=None) -> int:
         "fig6": _cmd_fig6,
         "table2": _cmd_table2,
         "backends": _cmd_backends,
+        "report": _cmd_report,
     }[args.command](args)
 
 

@@ -28,6 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..backends.base import Workspace
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 from .assembly import Assembler, DirichletMask
 from .basis import gl_to_gll_matrix, gll_derivative_matrix, gll_to_gl_matrix
@@ -270,7 +271,8 @@ class PressureOperator:
 
     def matvec(self, p: np.ndarray) -> np.ndarray:
         """Solver-facing matvec; pins the nullspace by mean-projection."""
-        out = self.apply_e(p)
-        if self.has_nullspace:
-            out = out - float(np.sum(out) / out.size)
-        return out
+        with trace("e_apply"):
+            out = self.apply_e(p)
+            if self.has_nullspace:
+                out = out - float(np.sum(out) / out.size)
+            return out

@@ -30,6 +30,8 @@ from ..core.filters import FieldFilter
 from ..core.mesh import Mesh
 from ..core.operators import HelmholtzOperator, LaplaceOperator, MassOperator
 from ..core.pressure import PressureOperator
+from ..obs.telemetry import record_projection
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 from ..solvers.cg import pcg
 from ..solvers.jacobi import JacobiPreconditioner
@@ -338,7 +340,15 @@ class NavierStokesSolver:
 
         ``extra_forcing`` (one field per component) supports couplings like
         the Boussinesq buoyancy of the convection workloads.
+
+        When observability is enabled (:func:`repro.obs.enable`) the phases
+        run inside trace regions ``step/{convection,helmholtz,pressure,
+        filter}`` — the Table 2 attribution tree.
         """
+        with trace("step"):
+            return self._step(extra_forcing)
+
+    def _step(self, extra_forcing: Optional[Sequence[np.ndarray]] = None) -> StepStats:
         import time as _time
 
         wall0 = _time.perf_counter()
@@ -359,119 +369,133 @@ class NavierStokesSolver:
         del self._u_hist[keep:], self._t_hist[keep:], self._conv_hist[keep:]
 
         # -- assemble the time-derivative + convection RHS --------------------
-        rhs_time = [np.zeros(self.mesh.local_shape) for _ in range(nd)]
-        if self.convection_mode == "oifs":
-            n_sub = max(1, int(np.ceil(max(cfl, 1e-12) / self.oifs_cfl_target)))
-            w_of_t = self._advecting_field_interpolant()
-            # Through-flow Dirichlet boundaries feed data along incoming
-            # characteristics during the sub-integration.
-            bfix = (lambda v, t: self.bc.apply_to(v, t)) if self.mask.n_constrained else None
-            for q, bq in enumerate(betas, start=1):
-                if q > len(self._u_hist):
-                    continue
-                u_tilde = self.conv.oifs_integrate(
-                    self._u_hist[q - 1], w_of_t, self._t_hist[q - 1], t_new,
-                    n_steps=n_sub * q, boundary_fix=bfix,
-                )
-                for c in range(nd):
-                    rhs_time[c] += (bq / dt) * u_tilde[c]
-        else:
-            for q, bq in enumerate(betas, start=1):
-                if q > len(self._u_hist):
-                    continue
-                for c in range(nd):
-                    rhs_time[c] += (bq / dt) * self._u_hist[q - 1][c]
-            if self.convection_mode == "ext":
-                exts = EXT_COEFFS[order]
-                for q, gq in enumerate(exts, start=1):
-                    if q > len(self._conv_hist):
+        with trace("convection"):
+            rhs_time = [np.zeros(self.mesh.local_shape) for _ in range(nd)]
+            if self.convection_mode == "oifs":
+                n_sub = max(1, int(np.ceil(max(cfl, 1e-12) / self.oifs_cfl_target)))
+                w_of_t = self._advecting_field_interpolant()
+                # Through-flow Dirichlet boundaries feed data along incoming
+                # characteristics during the sub-integration.
+                bfix = (lambda v, t: self.bc.apply_to(v, t)) if self.mask.n_constrained else None
+                for q, bq in enumerate(betas, start=1):
+                    if q > len(self._u_hist):
+                        continue
+                    u_tilde = self.conv.oifs_integrate(
+                        self._u_hist[q - 1], w_of_t, self._t_hist[q - 1], t_new,
+                        n_steps=n_sub * q, boundary_fix=bfix,
+                    )
+                    for c in range(nd):
+                        rhs_time[c] += (bq / dt) * u_tilde[c]
+            else:
+                for q, bq in enumerate(betas, start=1):
+                    if q > len(self._u_hist):
                         continue
                     for c in range(nd):
-                        rhs_time[c] += gq * self._conv_hist[q - 1][c]
+                        rhs_time[c] += (bq / dt) * self._u_hist[q - 1][c]
+                if self.convection_mode == "ext":
+                    exts = EXT_COEFFS[order]
+                    for q, gq in enumerate(exts, start=1):
+                        if q > len(self._conv_hist):
+                            continue
+                        for c in range(nd):
+                            rhs_time[c] += gq * self._conv_hist[q - 1][c]
 
-        if self.coriolis is not None:
-            for q, gq in enumerate(EXT_COEFFS[order], start=1):
-                if q > len(self._u_hist):
-                    continue
-                cor = self._coriolis_term(self._u_hist[q - 1])
+            if self.coriolis is not None:
+                for q, gq in enumerate(EXT_COEFFS[order], start=1):
+                    if q > len(self._u_hist):
+                        continue
+                    cor = self._coriolis_term(self._u_hist[q - 1])
+                    for c in range(nd):
+                        rhs_time[c] += gq * cor[c]
+
+            if self.forcing is not None:
+                fvals = self.forcing(*[np.asarray(x) for x in self.mesh.coords], t_new)
                 for c in range(nd):
-                    rhs_time[c] += gq * cor[c]
-
-        if self.forcing is not None:
-            fvals = self.forcing(*[np.asarray(x) for x in self.mesh.coords], t_new)
-            for c in range(nd):
-                rhs_time[c] = rhs_time[c] + np.broadcast_to(
-                    np.asarray(fvals[c], dtype=float), self.mesh.local_shape
-                )
-        if extra_forcing is not None:
-            for c in range(nd):
-                rhs_time[c] = rhs_time[c] + extra_forcing[c]
+                    rhs_time[c] = rhs_time[c] + np.broadcast_to(
+                        np.asarray(fvals[c], dtype=float), self.mesh.local_shape
+                    )
+            if extra_forcing is not None:
+                for c in range(nd):
+                    rhs_time[c] = rhs_time[c] + extra_forcing[c]
 
         # -- velocity Helmholtz solves ----------------------------------------
-        grad_p = self.pop.apply_div_t(self.p)
-        u_bound = self.bc.lift(t_new)
-        u_star: List[np.ndarray] = []
-        h_iters: List[int] = []
-        for c in range(nd):
-            helm = self._helmholtz_for(order, c)
-            precond = JacobiPreconditioner(
-                self._helmholtz_diag[(order, self.axisymmetric and c == 1)]
-            )
-            rhs_local = self.mass.apply(rhs_time[c]) + grad_p[c] - helm.apply(u_bound[c])
-            b = self.mask.apply(self.assembler.dssum(rhs_local))
-            x0 = self.mask.apply(self.u[c] - u_bound[c])
-            res = pcg(
-                lambda v: self.mask.apply(
-                    self.assembler.dssum(helm.apply(v, out=self._helm_out))
-                ),
-                b,
-                dot=self.assembler.dot,
-                precond=precond,
-                x0=x0,
-                tol=0.0,
-                rtol=self.helmholtz_tol,
-                maxiter=2000,
-            )
-            if not res.converged:
-                raise RuntimeError(
-                    f"velocity Helmholtz solve (component {c}) failed: {res}"
+        with trace("helmholtz"):
+            grad_p = self.pop.apply_div_t(self.p)
+            u_bound = self.bc.lift(t_new)
+            u_star: List[np.ndarray] = []
+            h_iters: List[int] = []
+            for c in range(nd):
+                helm = self._helmholtz_for(order, c)
+                precond = JacobiPreconditioner(
+                    self._helmholtz_diag[(order, self.axisymmetric and c == 1)]
                 )
-            h_iters.append(res.iterations)
-            u_star.append(res.x + u_bound[c])
+                rhs_local = self.mass.apply(rhs_time[c]) + grad_p[c] - helm.apply(u_bound[c])
+                b = self.mask.apply(self.assembler.dssum(rhs_local))
+                x0 = self.mask.apply(self.u[c] - u_bound[c])
+                res = pcg(
+                    lambda v: self.mask.apply(
+                        self.assembler.dssum(helm.apply(v, out=self._helm_out))
+                    ),
+                    b,
+                    dot=self.assembler.dot,
+                    precond=precond,
+                    x0=x0,
+                    tol=0.0,
+                    rtol=self.helmholtz_tol,
+                    maxiter=2000,
+                    label=f"helmholtz_u{c}",
+                )
+                if not res.converged:
+                    raise RuntimeError(
+                        f"velocity Helmholtz solve (component {c}) failed: {res}"
+                    )
+                h_iters.append(res.iterations)
+                u_star.append(res.x + u_bound[c])
 
         # -- pressure correction ----------------------------------------------
-        g = -(beta0 / dt) * self.pop.apply_div(u_star)
-        if self.pop.has_nullspace:
-            g = g - float(np.sum(g) / g.size)
-        g_norm = float(np.linalg.norm(g.ravel()))
-        tol = self.pressure_tol * max(g_norm, 1e-300)
-        if self.projector is not None:
-            dp0, g_pert = self.projector.start(g)
-        else:
-            dp0, g_pert = np.zeros_like(g), g
-        res_p = pcg(
-            self.pop.matvec,
-            g_pert,
-            dot=self.pop.dot,
-            precond=self.pressure_precond,
-            tol=tol,
-            maxiter=5000,
-        )
-        if not res_p.converged:
-            raise RuntimeError(f"pressure solve failed: {res_p}")
-        if self.projector is not None:
-            self.projector.finish(res_p.x, dp0 + res_p.x)
-        dp = dp0 + res_p.x
-        if self.pop.has_nullspace:
-            dp = dp - float(np.sum(dp) / dp.size)
+        with trace("pressure"):
+            g = -(beta0 / dt) * self.pop.apply_div(u_star)
+            if self.pop.has_nullspace:
+                g = g - float(np.sum(g) / g.size)
+            g_norm = float(np.linalg.norm(g.ravel()))
+            tol = self.pressure_tol * max(g_norm, 1e-300)
+            if self.projector is not None:
+                dp0, g_pert = self.projector.start(g)
+                record_projection(
+                    "pressure",
+                    len(self.projector),
+                    g_norm,
+                    float(np.linalg.norm(g_pert.ravel())),
+                )
+            else:
+                dp0, g_pert = np.zeros_like(g), g
+            res_p = pcg(
+                self.pop.matvec,
+                g_pert,
+                dot=self.pop.dot,
+                precond=self.pressure_precond,
+                tol=tol,
+                maxiter=5000,
+                label="pressure",
+            )
+            if not res_p.converged:
+                raise RuntimeError(f"pressure solve failed: {res_p}")
+            if self.projector is not None:
+                self.projector.finish(res_p.x, dp0 + res_p.x)
+            dp = dp0 + res_p.x
+            if self.pop.has_nullspace:
+                dp = dp - float(np.sum(dp) / dp.size)
 
-        # -- velocity update and filtering --------------------------------------
-        corr = self.pop.apply_binv(self.pop.apply_div_t(dp))
-        self.u = [u_star[c] + (dt / beta0) * corr[c] for c in range(nd)]
-        self.p = self.p + dp
+            # -- velocity update -------------------------------------------------
+            corr = self.pop.apply_binv(self.pop.apply_div_t(dp))
+            self.u = [u_star[c] + (dt / beta0) * corr[c] for c in range(nd)]
+            self.p = self.p + dp
+
+        # -- filtering ---------------------------------------------------------
         if self.filter is not None:
-            self.u = [self.filter(c) for c in self.u]
-            self.u = self.bc.apply_to(self.u, t_new)
+            with trace("filter"):
+                self.u = [self.filter(c) for c in self.u]
+                self.u = self.bc.apply_to(self.u, t_new)
         add_flops(2.0 * nd * self.u[0].size, "pointwise")
 
         self.t = t_new

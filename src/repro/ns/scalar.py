@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..core.operators import HelmholtzOperator
+from ..obs.trace import trace
 from ..solvers.cg import pcg
 from ..solvers.jacobi import JacobiPreconditioner
 from .bcs import ScalarBC
@@ -131,16 +132,18 @@ class ScalarTransport:
         rhs_local = flow.mass.apply(rhs) - helm.apply(t_bound)
         b = self.bc.mask.apply(flow.assembler.dssum(rhs_local))
         precond = JacobiPreconditioner(self._diag[order])
-        res = pcg(
-            lambda v: self.bc.mask.apply(flow.assembler.dssum(helm.apply(v))),
-            b,
-            dot=flow.assembler.dot,
-            precond=precond,
-            x0=self.bc.mask.apply(self.T - t_bound),
-            tol=0.0,
-            rtol=1e-10,
-            maxiter=2000,
-        )
+        with trace("scalar"):
+            res = pcg(
+                lambda v: self.bc.mask.apply(flow.assembler.dssum(helm.apply(v))),
+                b,
+                dot=flow.assembler.dot,
+                precond=precond,
+                x0=self.bc.mask.apply(self.T - t_bound),
+                tol=0.0,
+                rtol=1e-10,
+                maxiter=2000,
+                label="scalar",
+            )
         if not res.converged:
             raise RuntimeError(f"scalar Helmholtz solve failed: {res}")
         self.T = res.x + t_bound

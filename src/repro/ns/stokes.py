@@ -27,6 +27,7 @@ from ..core.element import geometric_factors
 from ..core.mesh import Mesh
 from ..core.operators import HelmholtzOperator, MassOperator
 from ..core.pressure import PressureOperator
+from ..obs.trace import trace
 from ..solvers.cg import pcg
 from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.schwarz import SchwarzPreconditioner
@@ -102,15 +103,17 @@ class StokesSolver:
         b = self.mask.apply(
             self.assembler.dssum(rhs_local - self.visc.apply(lift))
         )
-        res = pcg(
-            lambda v: self.mask.apply(self.assembler.dssum(self.visc.apply(v))),
-            b,
-            dot=self.assembler.dot,
-            precond=self._vel_precond,
-            tol=0.0,
-            rtol=self.velocity_tol,
-            maxiter=5000,
-        )
+        with trace("velocity"):
+            res = pcg(
+                lambda v: self.mask.apply(self.assembler.dssum(self.visc.apply(v))),
+                b,
+                dot=self.assembler.dot,
+                precond=self._vel_precond,
+                tol=0.0,
+                rtol=self.velocity_tol,
+                maxiter=5000,
+                label="stokes_velocity",
+            )
         if not res.converged:
             raise RuntimeError(f"Stokes velocity solve failed: {res}")
         self.velocity_solves += 1
@@ -154,14 +157,16 @@ class StokesSolver:
             p = self.pop.pressure_field()
             return StokesResult(u_f, p, 0, self.velocity_solves, 0.0, True)
 
-        res_p = pcg(
-            self._schur,
-            g,
-            dot=self.pop.dot,
-            precond=self.precond,
-            tol=self.pressure_tol * g_norm,
-            maxiter=self.maxiter,
-        )
+        with trace("stokes/pressure"):
+            res_p = pcg(
+                self._schur,
+                g,
+                dot=self.pop.dot,
+                precond=self.precond,
+                tol=self.pressure_tol * g_norm,
+                maxiter=self.maxiter,
+                label="stokes_pressure",
+            )
         p = res_p.x
         if self.pop.has_nullspace:
             p = p - float(np.sum(p) / p.size)

@@ -1,0 +1,93 @@
+"""Unified observability layer: trace regions, telemetry, run reports.
+
+Three pieces, one switch:
+
+* :mod:`repro.obs.trace` — hierarchical region timer
+  (``with trace("step/pressure"): ...``) recording wall time, call
+  counts, and per-region flop deltas;
+* :mod:`repro.obs.telemetry` — typed sink the solver loops feed
+  (iteration/residual histories, projection basis sizes, comm traffic);
+* :mod:`repro.obs.report` — stable-schema JSON report, Table-2-style
+  text renderer, and the ``python -m repro report`` CLI backend.
+
+Everything is off by default; :func:`enable` turns the whole layer on.
+While disabled, every instrumentation point is a single branch on a
+module global — the no-op fast path pinned by ``tests/test_obs.py``.
+
+See docs/OBSERVABILITY.md for region naming conventions, the report
+schema, and CLI usage.
+"""
+
+from .report import (
+    SCHEMA_VERSION,
+    report_json,
+    report_text,
+    save_report,
+    validate_report,
+)
+from .telemetry import (
+    CommRecord,
+    ProjectionRecord,
+    SolveRecord,
+    Telemetry,
+    ValueRecord,
+    record_comm,
+    record_projection,
+    record_solve,
+    record_value,
+    telemetry,
+)
+from .trace import (
+    RegionNode,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    find_region,
+    get_tracer,
+    region_tree,
+    reset,
+    trace,
+    traced,
+)
+
+__all__ = [
+    # trace
+    "RegionNode",
+    "Tracer",
+    "trace",
+    "traced",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "get_tracer",
+    "region_tree",
+    "find_region",
+    # telemetry
+    "SolveRecord",
+    "ProjectionRecord",
+    "CommRecord",
+    "ValueRecord",
+    "Telemetry",
+    "telemetry",
+    "record_solve",
+    "record_projection",
+    "record_comm",
+    "record_value",
+    # report
+    "SCHEMA_VERSION",
+    "report_json",
+    "report_text",
+    "save_report",
+    "validate_report",
+]
+
+
+def reset_all() -> None:
+    """Clear both the region tree and the telemetry sink."""
+    reset()
+    telemetry.reset()
+
+
+__all__.append("reset_all")

@@ -1,0 +1,276 @@
+"""Hierarchical trace regions: the per-phase timer tree.
+
+The paper's headline numbers are *per-phase attributions*: Table 2 splits a
+pressure solve into Schwarz variants, Fig. 8 tracks per-step iteration
+counts, Section 7 validates software flop counters against ASCI-Red's
+``perfmon``.  Production spectral element codes (Nek5000, NekRS) carry the
+same discipline as a runtime timer tree — every solver phase runs inside a
+named region, and the tree of (wall time, call count, flops) is what every
+scaling study reports.
+
+This module is that layer.  Usage::
+
+    from repro.obs import trace, traced, enable
+
+    enable()
+    with trace("step"):
+        with trace("pressure"):
+            ...                      # nested work
+    # or, for whole functions:
+    @traced("schwarz")
+    def apply(...): ...
+
+Regions nest dynamically: entering ``trace("pressure")`` inside
+``trace("step")`` accumulates into the tree node ``step/pressure``.  A
+name may itself contain ``/`` to open several levels at once
+(``trace("step/pressure/schwarz")``).
+
+Each node records
+
+* ``calls``   — number of times the region was entered,
+* ``seconds`` — total wall time inside the region (children included),
+* ``flops``   — per-category flop deltas pulled from
+  :data:`repro.perf.flops.global_counter` at entry/exit (children included).
+
+**The disabled fast path is the design constraint.**  Tracing is off by
+default; ``trace(name)`` then returns a shared no-op context manager
+without touching the tree, the clock, or the flop counter — a dict lookup
+and two empty method calls.  Hot loops (operator applies, CG iterations)
+can therefore keep their ``with trace(...)`` lines unconditionally; the
+overhead-guard test in ``tests/test_obs.py`` pins the cost at < 5% of an
+operator apply.  Tracing never writes to any numerical array, so enabling
+it is bit-for-bit neutral (also pinned by test).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..perf.flops import global_counter
+
+__all__ = [
+    "RegionNode",
+    "Tracer",
+    "trace",
+    "traced",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "get_tracer",
+    "region_tree",
+    "find_region",
+]
+
+
+class RegionNode:
+    """One node of the region tree (a named phase and its totals)."""
+
+    __slots__ = ("name", "calls", "seconds", "flops", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        #: per-category flop deltas accumulated inside this region
+        self.flops: Dict[str, float] = {}
+        self.children: Dict[str, "RegionNode"] = {}
+
+    def child(self, name: str) -> "RegionNode":
+        """Get or create the named child."""
+        node = self.children.get(name)
+        if node is None:
+            node = RegionNode(name)
+            self.children[name] = node
+        return node
+
+    def total_flops(self) -> float:
+        return float(sum(self.flops.values()))
+
+    def self_seconds(self) -> float:
+        """Wall time not attributed to any child region."""
+        return self.seconds - sum(c.seconds for c in self.children.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (stable key set; see docs/OBSERVABILITY.md)."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "flops": dict(self.flops),
+            "total_flops": self.total_flops(),
+            "children": [
+                c.as_dict() for c in sorted(self.children.values(), key=lambda n: n.name)
+            ],
+        }
+
+    def walk(self) -> Iterator["RegionNode"]:
+        yield self
+        for c in self.children.values():
+            yield from c.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegionNode({self.name!r}, calls={self.calls}, "
+            f"seconds={self.seconds:.4g}, children={sorted(self.children)})"
+        )
+
+
+class Tracer:
+    """The process-global region tree and its entry stack."""
+
+    def __init__(self):
+        self.root = RegionNode("root")
+        self._stack: List[RegionNode] = [self.root]
+
+    @property
+    def current(self) -> RegionNode:
+        return self._stack[-1]
+
+    @property
+    def current_path(self) -> str:
+        """``"/"``-joined path of the open region (empty at the root)."""
+        return "/".join(n.name for n in self._stack[1:])
+
+    def reset(self) -> None:
+        """Drop all recorded regions (keeps the enabled/disabled state)."""
+        self.root = RegionNode("root")
+        self._stack = [self.root]
+
+    # -- span protocol ------------------------------------------------------
+    def _enter(self, name: str) -> RegionNode:
+        node = self.current
+        for seg in name.split("/"):
+            if seg:
+                node = node.child(seg)
+                self._stack.append(node)
+        return node
+
+    def _exit(self, node: RegionNode, depth: int, dt: float, before: Dict[str, float]) -> None:
+        node.calls += 1
+        node.seconds += dt
+        after = global_counter.snapshot()
+        for cat, n in after.items():
+            delta = n - before.get(cat, 0.0)
+            if delta:
+                node.flops[cat] = node.flops.get(cat, 0.0) + delta
+        del self._stack[len(self._stack) - depth:]
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _Span:
+    """Context manager for one live region entry."""
+
+    __slots__ = ("_name", "_node", "_depth", "_t0", "_flops0")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self) -> RegionNode:
+        tr = _TRACER
+        depth0 = len(tr._stack)
+        self._node = tr._enter(self._name)
+        self._depth = len(tr._stack) - depth0
+        self._flops0 = global_counter.snapshot()
+        self._t0 = time.perf_counter()
+        return self._node
+
+    def __exit__(self, *exc):
+        dt = time.perf_counter() - self._t0
+        _TRACER._exit(self._node, self._depth, dt, self._flops0)
+        return False
+
+
+_TRACER = Tracer()
+_NULL = _NullSpan()
+#: module-global switch; read on every trace() call (the no-op fast path).
+_ENABLED = False
+
+
+def trace(name: str):
+    """Open (or no-op) a trace region.
+
+    Returns the shared null context manager when tracing is disabled, so
+    the call costs one global read and an allocation-free ``with``.
+    """
+    if not _ENABLED:
+        return _NULL
+    return _Span(name)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator form: run the whole function inside a region.
+
+    ``name`` defaults to the function's ``__name__``.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        region = name if name is not None else fn.__name__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            with _Span(region):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
+def enable() -> None:
+    """Turn tracing (and telemetry recording) on."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing off; open spans finish recording, new ones no-op."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Is the observability layer currently recording?"""
+    return _ENABLED
+
+
+def reset() -> None:
+    """Clear the region tree (the enabled flag is left as-is)."""
+    _TRACER.reset()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (its ``root`` is the region tree)."""
+    return _TRACER
+
+
+def region_tree() -> dict:
+    """JSON-ready snapshot of the whole region tree."""
+    return _TRACER.root.as_dict()
+
+
+def find_region(path: str) -> Optional[RegionNode]:
+    """Look up a node by ``"a/b/c"`` path; None when absent."""
+    node = _TRACER.root
+    for seg in path.split("/"):
+        if not seg:
+            continue
+        node = node.children.get(seg)
+        if node is None:
+            return None
+    return node

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.telemetry import record_comm
+from ..obs.trace import trace
 from .comm import SimComm
 from .machine import Machine
 
@@ -69,7 +71,13 @@ class CrystalRouter:
 
         The header overhead (source/destination ids riding with each
         payload) is charged as 2 extra words per message per hop.
+        Traced as ``crystal_route``; records a ``crystal`` comm record
+        (rounds, words, peak buffer) when observability is enabled.
         """
+        with trace("crystal_route"):
+            return self._route(messages)
+
+    def _route(self, messages: Sequence[Message]) -> RouteReport:
         for m in messages:
             if not (0 <= m.src < self.p and 0 <= m.dest < self.p):
                 raise ValueError(f"message {m.src}->{m.dest} outside 0..{self.p - 1}")
@@ -116,6 +124,14 @@ class CrystalRouter:
                 if m.dest != r:
                     raise AssertionError("crystal router failed to deliver a message")
                 delivered.setdefault((m.src, m.dest), []).append(m.payload)
+        record_comm(
+            "crystal",
+            f"p{self.p}",
+            self.dims * self.p,
+            float(sum(per_round_words)),
+            rounds=self.dims,
+            max_buffer_words=max_buffer,
+        )
         return RouteReport(
             delivered=delivered,
             rounds=self.dims,

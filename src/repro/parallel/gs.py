@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.telemetry import record_comm
+from ..obs.trace import trace
 from .comm import SimComm
 
 __all__ = ["gs_init", "GatherScatter"]
@@ -132,27 +134,37 @@ class GatherScatter:
                     f"rank {r}: value shape {v.shape} does not match ids {base}"
                 )
 
-        # Global reduction (the real data path).
-        acc = np.full((self.n_global, vec_width), init)
-        for r, fv in enumerate(flat_vals):
-            ufunc.at(acc, self.local_ids[r], fv)
-        out = []
-        for r, fv in enumerate(flat_vals):
-            res = acc[self.local_ids[r]]
-            shape = self.local_shapes[r] + ((vec_width,) if vec_width > 1 else ())
-            out.append(res.reshape(shape))
+        with trace("gs_op"):
+            # Global reduction (the real data path).
+            acc = np.full((self.n_global, vec_width), init)
+            for r, fv in enumerate(flat_vals):
+                ufunc.at(acc, self.local_ids[r], fv)
+            out = []
+            for r, fv in enumerate(flat_vals):
+                res = acc[self.local_ids[r]]
+                shape = self.local_shapes[r] + ((vec_width,) if vec_width > 1 else ())
+                out.append(res.reshape(shape))
 
-        # Cost accounting: one phase of pairwise exchanges.
-        if comm is not None:
-            if comm.p != self.p:
-                raise ValueError("SimComm rank count does not match handle")
-            for (a, b), c in self.pair_counts.items():
-                comm.exchange(a, b, c * vec_width)
-            # local combine flops
-            comm.compute_all(
-                [fv.size for fv in flat_vals], mxm_fraction=0.0
+            # Cost accounting: one phase of pairwise exchanges.
+            if comm is not None:
+                if comm.p != self.p:
+                    raise ValueError("SimComm rank count does not match handle")
+                for (a, b), c in self.pair_counts.items():
+                    comm.exchange(a, b, c * vec_width)
+                # local combine flops
+                comm.compute_all(
+                    [fv.size for fv in flat_vals], mxm_fraction=0.0
+                )
+            # Each sharing pair exchanges its shared-node values both ways.
+            record_comm(
+                "gs",
+                op,
+                2 * len(self.pair_counts),
+                2.0 * vec_width * sum(self.pair_counts.values()),
+                ranks=self.p,
+                vec_width=vec_width,
             )
-        return out
+            return out
 
 
 def gs_init(local_ids: Sequence[np.ndarray], n: Optional[int] = None) -> GatherScatter:

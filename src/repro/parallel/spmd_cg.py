@@ -33,6 +33,8 @@ from ..core.assembly import Assembler, DirichletMask
 from ..core.element import GeomFactors, geometric_factors
 from ..core.mesh import Mesh
 from ..core.operators import HelmholtzOperator
+from ..obs.telemetry import record_comm, record_solve
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 from .comm import SimComm
 from .gs import GatherScatter, gs_init
@@ -187,6 +189,10 @@ class DistributedSEMSolver:
         maxiter: int = 2000,
     ) -> DistributedSolveResult:
         """Solve with RHS ``B f`` assembled from a local field (serial layout)."""
+        with trace("spmd_cg"):
+            return self._solve(f_local, tol, maxiter)
+
+    def _solve(self, f_local, tol, maxiter) -> DistributedSolveResult:
         comm = SimComm(self.machine, self.p)
         rhs = self.mask.apply(
             Assembler.for_mesh(self.mesh).dssum(self.op.mass.apply(f_local))
@@ -226,6 +232,21 @@ class DistributedSEMSolver:
                 comm.compute(rr, 2.0 * z[rr].size, mxm_fraction=0.0)
         rep = comm.report()
         add_flops(0.0)  # keep the counter import warm for instrumented runs
+        record_solve(
+            "spmd_cg",
+            f"p{self.p}",
+            it,
+            converged,
+            final_residual=float(norm_r),
+        )
+        record_comm(
+            "spmd_cg",
+            f"p{self.p}",
+            int(rep["messages"]),
+            float(rep.get("words", 0.0)),
+            simulated_seconds=rep["elapsed"],
+            comm_seconds=rep["comm_max"],
+        )
         return DistributedSolveResult(
             x=self._merge(x),
             iterations=it,

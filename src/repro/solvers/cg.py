@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs.telemetry import record_solve
 from ..perf.flops import add_flops
 
 __all__ = ["CGResult", "pcg"]
@@ -56,6 +57,7 @@ def pcg(
     rtol: float = 0.0,
     maxiter: int = 1000,
     callback: Optional[Callable[[int, float], None]] = None,
+    label: Optional[str] = None,
 ) -> CGResult:
     """Solve ``A x = b`` with (optionally preconditioned) CG.
 
@@ -75,6 +77,10 @@ def pcg(
     maxiter:
         Iteration cap; exceeding it returns ``converged=False`` rather than
         raising, so callers (e.g. the Table 2 harness) can report counts.
+    label:
+        Optional telemetry tag (e.g. ``"pressure"``); when observability is
+        enabled (:func:`repro.obs.enable`), every labeled solve appends a
+        :class:`repro.obs.SolveRecord` with the full residual history.
 
     Returns
     -------
@@ -83,6 +89,19 @@ def pcg(
     """
     if dot is None:
         dot = lambda u, v: float(np.sum(u * v))  # noqa: E731
+
+    def done(res: CGResult) -> CGResult:
+        if label is not None:
+            record_solve(
+                "cg",
+                label,
+                res.iterations,
+                res.converged,
+                initial_residual=res.initial_residual_norm,
+                final_residual=res.residual_norm,
+                residual_history=res.residual_history,
+            )
+        return res
 
     x = np.zeros_like(b) if x0 is None else x0.copy()
     r = b - matvec(x) if x0 is not None else b.copy()
@@ -100,7 +119,7 @@ def pcg(
     if callback:
         callback(0, norm_r)
     if norm_r <= stop:
-        return CGResult(x, 0, True, norm_r, r0, history)
+        return done(CGResult(x, 0, True, norm_r, r0, history))
 
     z = precond(r) if precond is not None else r
     p = z.copy()
@@ -133,7 +152,7 @@ def pcg(
         if callback:
             callback(it, norm_r)
         if norm_r <= stop:
-            return CGResult(x, it, True, norm_r, r0, history)
+            return done(CGResult(x, it, True, norm_r, r0, history))
         z = precond(r) if precond is not None else r
         rz_new = dot(r, z)
         beta = rz_new / rz
@@ -142,4 +161,4 @@ def pcg(
         p += z
         add_flops(2 * b.size, "pointwise")
 
-    return CGResult(x, maxiter, False, norm_r, r0, history)
+    return done(CGResult(x, maxiter, False, norm_r, r0, history))

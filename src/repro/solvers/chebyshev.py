@@ -21,6 +21,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..obs.telemetry import record_solve
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 
 __all__ = ["estimate_extreme_eigenvalues", "ChebyshevSmoother"]
@@ -89,9 +91,13 @@ class ChebyshevSmoother:
         Target interval bounds (``0 < lam_lo < lam_hi``).
     degree:
         Number of matvecs per application.
+    label:
+        Optional telemetry tag; labeled applications record a
+        :class:`repro.obs.SolveRecord` when observability is enabled.
     """
 
-    def __init__(self, matvec: ArrayOp, lam_lo: float, lam_hi: float, degree: int = 3):
+    def __init__(self, matvec: ArrayOp, lam_lo: float, lam_hi: float, degree: int = 3,
+                 label: Optional[str] = None):
         if not (0 < lam_lo < lam_hi):
             raise ValueError("need 0 < lam_lo < lam_hi")
         if degree < 1:
@@ -102,23 +108,27 @@ class ChebyshevSmoother:
         self.degree = int(degree)
         self.theta = 0.5 * (lam_hi + lam_lo)
         self.delta = 0.5 * (lam_hi - lam_lo)
+        self.label = label
 
     def apply(self, b: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
         """Return the degree-k Chebyshev iterate toward ``A x = b``."""
-        x = np.zeros_like(b) if x0 is None else x0.copy()
-        r = b - self.matvec(x) if x0 is not None else b.copy()
-        # Standard Chebyshev recurrence (Saad, Iterative Methods, alg. 12.1).
-        sigma1 = self.theta / self.delta
-        rho = 1.0 / sigma1
-        d = r / self.theta
-        for _ in range(self.degree):
-            x = x + d
-            r = r - self.matvec(d)
-            rho_new = 1.0 / (2.0 * sigma1 - rho)
-            d = rho_new * rho * d + (2.0 * rho_new / self.delta) * r
-            rho = rho_new
-            add_flops(6.0 * b.size, "pointwise")
-        return x
+        with trace("chebyshev"):
+            x = np.zeros_like(b) if x0 is None else x0.copy()
+            r = b - self.matvec(x) if x0 is not None else b.copy()
+            # Standard Chebyshev recurrence (Saad, Iterative Methods, alg. 12.1).
+            sigma1 = self.theta / self.delta
+            rho = 1.0 / sigma1
+            d = r / self.theta
+            for _ in range(self.degree):
+                x = x + d
+                r = r - self.matvec(d)
+                rho_new = 1.0 / (2.0 * sigma1 - rho)
+                d = rho_new * rho * d + (2.0 * rho_new / self.delta) * r
+                rho = rho_new
+                add_flops(6.0 * b.size, "pointwise")
+            if self.label is not None:
+                record_solve("chebyshev", self.label, self.degree, True)
+            return x
 
     __call__ = apply
 

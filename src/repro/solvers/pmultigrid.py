@@ -36,6 +36,7 @@ from ..core.mesh import Mesh, box_mesh_2d, box_mesh_3d
 from ..core.operators import HelmholtzOperator, SEMSystem
 from ..core.quadrature import gll_points
 from ..core.tensor import apply_tensor
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 
 __all__ = ["PLevel", "build_p_hierarchy", "PMultigrid"]
@@ -189,27 +190,30 @@ class PMultigrid:
     # -------------------------------------------------------------- V-cycle
     def _vcycle(self, i: int, b: np.ndarray) -> np.ndarray:
         lvl = self.levels[i]
-        if i == len(self.levels) - 1:
-            from .cg import pcg
+        with trace(f"p{lvl.order}"):
+            if i == len(self.levels) - 1:
+                from .cg import pcg
 
-            res = pcg(
-                lvl.system.matvec,
-                b,
-                dot=lvl.system.dot,
-                precond=lambda r: lvl.inv_diagonal * r,
-                tol=0.0,
-                rtol=1e-8,
-                maxiter=self.coarse_iters,
-            )
-            return res.x
-        x = self._smooth(i, np.zeros_like(b), b, self.n_smooth)
-        r = b - lvl.system.matvec(x)
-        r_c = self._restrict(i + 1, r)
-        e_c = self._vcycle(i + 1, r_c)
-        x = x + self._prolong(i + 1, e_c)
-        x = self._smooth(i, x, b, self.n_smooth)
-        return x
+                res = pcg(
+                    lvl.system.matvec,
+                    b,
+                    dot=lvl.system.dot,
+                    precond=lambda r: lvl.inv_diagonal * r,
+                    tol=0.0,
+                    rtol=1e-8,
+                    maxiter=self.coarse_iters,
+                    label="pmg_coarse",
+                )
+                return res.x
+            x = self._smooth(i, np.zeros_like(b), b, self.n_smooth)
+            r = b - lvl.system.matvec(x)
+            r_c = self._restrict(i + 1, r)
+            e_c = self._vcycle(i + 1, r_c)
+            x = x + self._prolong(i + 1, e_c)
+            x = self._smooth(i, x, b, self.n_smooth)
+            return x
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        """Apply one V-cycle as a preconditioner."""
-        return self._vcycle(0, r)
+        """Apply one V-cycle as a preconditioner (traced as ``pmg/p<N>/...``)."""
+        with trace("pmg"):
+            return self._vcycle(0, r)

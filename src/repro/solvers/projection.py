@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 
 __all__ = ["SolutionProjector"]
@@ -81,14 +82,15 @@ class SolutionProjector:
         """
         if not self._basis:
             return np.zeros_like(b), b.copy()
-        alphas = [self.dot(x, b) for x in self._basis]
-        x_bar = np.zeros_like(b)
-        b_pert = b.copy()
-        for a, x, ax in zip(alphas, self._basis, self._a_basis):
-            x_bar += a * x
-            b_pert -= a * ax
-        add_flops(4.0 * b.size * len(self._basis), "pointwise")
-        return x_bar, b_pert
+        with trace("projection"):
+            alphas = [self.dot(x, b) for x in self._basis]
+            x_bar = np.zeros_like(b)
+            b_pert = b.copy()
+            for a, x, ax in zip(alphas, self._basis, self._a_basis):
+                x_bar += a * x
+                b_pert -= a * ax
+            add_flops(4.0 * b.size * len(self._basis), "pointwise")
+            return x_bar, b_pert
 
     def finish(self, dx: np.ndarray, x_full: Optional[np.ndarray] = None) -> None:
         """Fold the solved perturbation into the window.

@@ -45,6 +45,7 @@ import scipy.linalg
 
 from ..core.mesh import Mesh
 from ..core.pressure import PressureOperator
+from ..obs.trace import trace
 from ..perf.flops import add_flops
 from .coarse import CoarseOperator, element_corner_coords
 from .fdm import generalized_fdm_pair, line_consistent_poisson
@@ -383,13 +384,20 @@ class SchwarzPreconditioner:
         return lat.from_lattice(out)
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        """Apply ``M_o^{-1} r``."""
-        out = self.local_solves(r)
-        if self.coarse is not None:
-            out = out + self.coarse.apply(r)
-        if self.pop.has_nullspace:
-            out = out - float(np.sum(out) / out.size)
-        return out
+        """Apply ``M_o^{-1} r``.
+
+        Traced as ``schwarz`` with children ``fdm``/``fem`` (local solves)
+        and ``coarse`` — the Table 2 cost split.
+        """
+        with trace("schwarz"):
+            with trace(self.variant):
+                out = self.local_solves(r)
+            if self.coarse is not None:
+                with trace("coarse"):
+                    out = out + self.coarse.apply(r)
+            if self.pop.has_nullspace:
+                out = out - float(np.sum(out) / out.size)
+            return out
 
 
 def _fix_wrapped_ends(line: np.ndarray) -> np.ndarray:
@@ -547,9 +555,13 @@ class HybridSchwarzPreconditioner:
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
         base = self.base
-        z1 = self.omega * base.local_solves(r)
-        r1 = r - self.pop.matvec(self._project(z1))
-        z2 = z1 + (base.coarse.apply(r1) if base.coarse is not None else 0.0)
-        r2 = r - self.pop.matvec(self._project(z2))
-        z = z2 + self.omega * base.local_solves(r2)
-        return self._project(z)
+        with trace("hybrid_schwarz"):
+            with trace(base.variant):
+                z1 = self.omega * base.local_solves(r)
+            r1 = r - self.pop.matvec(self._project(z1))
+            with trace("coarse"):
+                z2 = z1 + (base.coarse.apply(r1) if base.coarse is not None else 0.0)
+            r2 = r - self.pop.matvec(self._project(z2))
+            with trace(base.variant):
+                z = z2 + self.omega * base.local_solves(r2)
+            return self._project(z)

@@ -35,6 +35,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..obs.telemetry import record_value
+from ..obs.trace import trace
 from ..parallel.partition import DissectionNode, nested_dissection
 from ..perf.flops import add_flops
 
@@ -138,6 +140,7 @@ class XXTSolver:
         inv[perm] = np.arange(n)
         self.x = x_perm[inv].tocsc()
         self.xt = self.x.T.tocsr()
+        record_value("xxt_nnz", self.nnz, label=f"n={n}")
 
     # ------------------------------------------------------------------ solve
     @property
@@ -147,8 +150,9 @@ class XXTSolver:
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """``A^{-1} b = X (X^T b)`` — the pair of concurrent matvecs."""
-        add_flops(4.0 * self.nnz, "coarse")
-        return self.x @ (self.xt @ b)
+        with trace("xxt"):
+            add_flops(4.0 * self.nnz, "coarse")
+            return self.x @ (self.xt @ b)
 
     def verify(self, a: sp.spmatrix, n_samples: int = 3, seed: int = 0) -> float:
         """Max relative residual of ``A (X X^T b) = b`` over random probes."""

@@ -65,6 +65,9 @@ class ShearLayerCase:
         1 = full projection).
     dt:
         Timestep (paper: 0.002, CFL in 1-5 -> OIFS convection).
+    projection_window:
+        L for the successive-RHS pressure projection (0 disables; used by
+        the Fig. 4 regression pin to compare with/without projection).
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class ShearLayerCase:
         dt: float = 0.002,
         convection: str = "oifs",
         pressure_tol: float = 1e-6,
+        projection_window: int = 10,
     ):
         self.rho = rho
         self.mesh = box_mesh_2d(
@@ -89,7 +93,7 @@ class ShearLayerCase:
             bc=VelocityBC.none(self.mesh),
             convection=convection,
             filter_alpha=filter_alpha,
-            projection_window=10,
+            projection_window=projection_window,
             pressure_tol=pressure_tol,
         )
         rho_ = rho

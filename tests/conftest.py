@@ -1,0 +1,29 @@
+"""Shared fixtures for the whole suite.
+
+Every test gets a deterministic RNG seed derived from its node id, so a
+test's random stream never depends on which other tests ran before it (or
+on ``-k`` selection / ``-p no:randomly`` style reordering).  The fixture
+also guarantees the observability layer is switched off and empty between
+tests, so instrumentation state cannot leak across test boundaries.
+"""
+
+import hashlib
+import random
+
+import numpy as np
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_test_state(request):
+    """Seed every RNG from the test node id; reset obs state afterwards."""
+    seed = int.from_bytes(
+        hashlib.sha256(request.node.nodeid.encode()).digest()[:4], "big"
+    )
+    random.seed(seed)
+    np.random.seed(seed)
+    yield
+    obs.disable()
+    obs.reset_all()

@@ -6,6 +6,8 @@ flop instrumentation."""
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro import (
     FieldEvaluator,
     FlowDiagnostics,

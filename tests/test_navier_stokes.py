@@ -127,6 +127,7 @@ class TestTaylorGreen:
 
 
 class TestChannelFlow:
+    @pytest.mark.slow
     def test_poiseuille_steady_state(self):
         """Forced periodic channel: u -> (Re/2) f y (1-y) profile."""
         mesh = box_mesh_2d(2, 3, 6, x1=2.0, periodic=(True, False))
@@ -305,6 +306,7 @@ class TestKovasznay:
     """Steady 2-D Navier-Stokes with the closed-form Kovasznay solution —
     exercises through-flow Dirichlet boundaries with OIFS convection."""
 
+    @pytest.mark.slow
     def test_converges_to_exact_steady_state(self):
         re = 40.0
         lam = re / 2 - np.sqrt(re**2 / 4 + 4 * np.pi**2)

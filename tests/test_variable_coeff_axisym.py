@@ -191,6 +191,7 @@ class TestAxisymmetricNavierStokes:
         with pytest.raises(ValueError):
             NavierStokesSolver(m3, re=10, dt=0.1, axisymmetric=True)
 
+    @pytest.mark.slow
     def test_annular_poiseuille_exact_steady_state(self):
         """Forced annular pipe flow matches the closed-form log profile."""
         from repro.ns.bcs import VelocityBC

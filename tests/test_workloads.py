@@ -61,6 +61,7 @@ class TestOrrSommerfeldTheory:
         assert abs(dudx + dvdy) < 1e-4
 
 
+@pytest.mark.slow
 class TestOrrSommerfeldCase:
     def test_growth_rate_converges_with_n(self):
         """The Table 1 spatial-convergence shape at reduced cost."""
