@@ -9,17 +9,33 @@ running code:
 * identical solutions and iteration counts at every P,
 * compute time ~ 1/P, communication growing with P,
 * near-linear speedup while the problem stays compute-dominated.
+
+Since the comm-protocol refactor the same rank program also runs on real
+worker processes: ``test_spmd_measured_vs_model`` executes it on the
+multiprocessing substrate for P in {1, 2, 4}, compares measured wall time
+against the alpha-beta prediction per communication phase, asserts
+bitwise parity with the simulated run, and writes
+``BENCH_spmd_scaling.json`` at the repo root so the measured-vs-model
+trajectory is machine-readable PR over PR.
 """
+
+import json
+import pathlib
 
 import numpy as np
 import pytest
 
 from conftest import fmt_table, write_result
-from repro.core.mesh import box_mesh_3d
-from repro.parallel.machine import ASCI_RED_333
+from repro.core.mesh import box_mesh_2d, box_mesh_3d
+from repro.parallel.machine import ASCI_RED_333, LOCALHOST_MP
 from repro.parallel.spmd_cg import DistributedSEMSolver
 
 P_VALUES = [1, 2, 4, 8, 16]
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_spmd_scaling.json"
+
+#: rank counts exercised on the real multiprocessing substrate
+MP_P_VALUES = [1, 2, 4]
 
 
 @pytest.fixture(scope="module")
@@ -62,3 +78,65 @@ def test_spmd_strong_scaling(benchmark, sweep):
     assert out[8].simulated_seconds < out[1].simulated_seconds
     assert out[1].comm_seconds == 0.0
     assert out[16].comm_seconds > out[2].comm_seconds
+
+
+def test_spmd_measured_vs_model():
+    """Run the identical CG rank program on real processes and compare the
+    measured wall time against the alpha-beta model, P in {1, 2, 4}."""
+    mesh = box_mesh_2d(4, 4, 5)
+    rng = np.random.default_rng(42)
+    f = rng.standard_normal(mesh.local_shape)
+
+    per_p = {}
+    rows = []
+    for p in MP_P_VALUES:
+        solver = DistributedSEMSolver(mesh, ASCI_RED_333, p, h1=1.0, h0=1.0)
+        sim = solver.solve(f, tol=1e-9, executor="sim")
+        mp = solver.solve(f, tol=1e-9, executor="mp", timeout=300)
+
+        # One rank-program source, two substrates, bitwise-identical solve.
+        assert mp.iterations == sim.iterations
+        assert mp.history == sim.history
+        assert np.array_equal(mp.x, sim.x)
+        assert mp.wall_seconds > 0.0
+
+        modeled = sum(
+            ph["modeled_seconds_max"] for ph in mp.phases.values()
+        )
+        measured = sum(
+            ph["measured_seconds_max"] for ph in mp.phases.values()
+        )
+        per_p[p] = {
+            "iterations": mp.iterations,
+            "sim_modeled_seconds": sim.simulated_seconds,
+            "mp_wall_seconds": mp.wall_seconds,
+            "mp_comm_measured_seconds": measured,
+            "mp_comm_modeled_seconds": modeled,
+            "phases": mp.phases,
+        }
+        rows.append([p, mp.iterations, sim.simulated_seconds,
+                     mp.wall_seconds, measured, modeled])
+
+    text = fmt_table(
+        ["P", "iters", "ASCI-Red model", "mp wall", "mp comm measured",
+         "mp comm alpha-beta"],
+        rows,
+        title=f"SPMD CG measured vs modeled (K = {mesh.K}, N = {mesh.order}, "
+        f"localhost multiprocessing vs alpha-beta prediction)",
+    )
+    write_result("spmd_measured_vs_model", text)
+
+    doc = {
+        "benchmark": "spmd_scaling",
+        "mesh": {"K": mesh.K, "order": mesh.order, "dim": 2},
+        "machine_model": LOCALHOST_MP.name,
+        "sim_machine": ASCI_RED_333.name,
+        "executors": ["sim", "mp"],
+        "ranks": {str(p): per_p[p] for p in MP_P_VALUES},
+    }
+    JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # The model and the measurement must at least agree on the trend:
+    # more ranks -> more communication, both measured and modeled.
+    assert per_p[4]["mp_comm_modeled_seconds"] > per_p[1]["mp_comm_modeled_seconds"]
+    assert per_p[4]["mp_comm_measured_seconds"] > per_p[1]["mp_comm_measured_seconds"]

@@ -9,6 +9,7 @@
     python -m repro table2 [--level L]# Schwarz variants on the cylinder mesh
     python -m repro backends          # kernel backend / auto-tuner report
     python -m repro report [--steps N]# traced shear-layer run -> JSON report
+    python -m repro spmd --executor mp --ranks 4   # distributed CG, real procs
 
 Every subcommand accepts a global ``--backend {auto,matmul,einsum,flat}``
 selecting the kernel backend all tensor-product applies route through
@@ -223,6 +224,91 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_spmd(args) -> int:
+    """End-to-end distributed CG solve on a selectable SPMD substrate.
+
+    Partitions a box mesh over ``--ranks``, runs the same CG rank program
+    on the chosen ``--executor`` (simulated clocks, real processes, or MPI
+    when available), and prints measured vs alpha-beta-modeled time per
+    communication phase.  ``--out`` writes the schema-validated obs report
+    with the merged per-rank ``spmd`` section.
+    """
+    import json
+
+    from repro import obs
+    from repro.core.mesh import box_mesh_2d
+    from repro.parallel.exec import available_executors
+    from repro.parallel.machine import ASCI_RED_333, LOCALHOST_MP
+    from repro.parallel.spmd_cg import DistributedSEMSolver, cg_rank_program
+
+    if args.executor not in available_executors():
+        print(f"executor {args.executor!r} is not available here "
+              f"(have: {', '.join(available_executors())})")
+        return 2
+
+    obs.enable()
+    obs.reset_all()
+    machine = LOCALHOST_MP if args.executor == "mp" else ASCI_RED_333
+    mesh = box_mesh_2d(args.elements, args.elements, args.order)
+    solver = DistributedSEMSolver(mesh, machine, args.ranks)
+    rng = np.random.default_rng(args.seed)
+    f = rng.standard_normal(mesh.local_shape)
+
+    # Run the rank program directly so the SPMDRunResult (per-rank stats,
+    # merged phases, worker trace regions) is in hand for the report.
+    from repro.core.assembly import Assembler
+    from repro.parallel.exec import run_spmd
+
+    rhs = solver.mask.apply(
+        Assembler.for_mesh(mesh).dssum(solver.op.mass.apply(f))
+    )
+    b = solver._split(rhs)
+    ctxs = solver.rank_contexts()
+    run = run_spmd(
+        cg_rank_program,
+        [(ctxs[r], b[r], args.tol, args.maxiter) for r in range(args.ranks)],
+        ranks=args.ranks,
+        executor=args.executor,
+        machine=machine,
+        timeout=args.timeout,
+    )
+    r0 = run.results[0]
+    print(f"spmd cg: K={mesh.K} N={mesh.order} ranks={args.ranks} "
+          f"executor={args.executor}")
+    print(f"  {r0['iterations']} iterations, converged={r0['converged']}, "
+          f"residual {r0['residual_norm']:.3e}")
+    print(f"  wall {run.wall_seconds:.4f}s, alpha-beta model "
+          f"{run.modeled_seconds:.4e}s")
+    merged = run.merged
+    print(f"  {'phase':<12} {'calls':>7} {'messages':>9} {'words':>12} "
+          f"{'measured(s)':>12} {'modeled(s)':>12}")
+    for kind, row in merged["phases"].items():
+        print(f"  {kind:<12} {row['calls']:>7d} {row['messages']:>9d} "
+              f"{row['words']:>12.0f} {row['measured_seconds_max']:>12.4e} "
+              f"{row['modeled_seconds_max']:>12.4e}")
+
+    rc = 0 if r0["converged"] else 1
+    if args.out:
+        doc = obs.report_json(
+            meta={
+                "workload": "spmd_cg",
+                "elements": args.elements,
+                "order": args.order,
+                "ranks": args.ranks,
+                "executor": args.executor,
+            },
+            spmd=run.report_section(),
+        )
+        obs.validate_report(doc)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    obs.disable()
+    obs.reset_all()
+    return rc
+
+
 def _cmd_table2(args) -> int:
     from repro.workloads.cylinder_model import Table2Case
 
@@ -268,6 +354,22 @@ def main(argv=None) -> int:
     pb.add_argument("--exercise", action="store_true",
                     help="run a few operator applies first so the tuner "
                          "has shapes to report")
+    ps = sub.add_parser("spmd", help="distributed CG on a real or simulated "
+                                     "SPMD substrate")
+    ps.add_argument("--executor", default="sim", choices=["sim", "mp", "mpi"],
+                    help="substrate: virtual clocks (sim), worker processes "
+                         "(mp), or MPI ranks (mpi, needs mpi4py)")
+    ps.add_argument("--ranks", type=int, default=4)
+    ps.add_argument("--elements", type=int, default=4,
+                    help="elements per direction of the box mesh")
+    ps.add_argument("--order", type=int, default=6)
+    ps.add_argument("--tol", type=float, default=1e-8)
+    ps.add_argument("--maxiter", type=int, default=2000)
+    ps.add_argument("--timeout", type=float, default=300.0,
+                    help="hard wall-clock bound for process executors (s)")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--out", default=None,
+                    help="write the obs report (with spmd section) here")
     pr = sub.add_parser("report", help="traced shear-layer run -> JSON report")
     pr.add_argument("--steps", type=int, default=10)
     pr.add_argument("--elements", type=int, default=8,
@@ -296,6 +398,7 @@ def main(argv=None) -> int:
         "table2": _cmd_table2,
         "backends": _cmd_backends,
         "report": _cmd_report,
+        "spmd": _cmd_spmd,
     }[args.command](args)
 
 

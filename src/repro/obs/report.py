@@ -51,11 +51,18 @@ def _backend_section() -> dict:
     }
 
 
-def report_json(meta: Optional[Dict[str, Any]] = None) -> dict:
+def report_json(
+    meta: Optional[Dict[str, Any]] = None,
+    spmd: Optional[Dict[str, Any]] = None,
+) -> dict:
     """The full observability document (JSON-ready, schema-stable).
 
     ``meta`` lets callers attach run identification (workload name, mesh
     size, steps...) without touching the schema's reserved keys.
+    ``spmd`` attaches an optional SPMD-run section — typically
+    :meth:`repro.parallel.exec.SPMDRunResult.report_section`, which merges
+    every rank's trace regions and comm phases into one measured-vs-model
+    table (additive schema: absent unless provided).
     """
     from .. import __version__
 
@@ -71,6 +78,8 @@ def report_json(meta: Optional[Dict[str, Any]] = None) -> dict:
         },
         "backend": _backend_section(),
     }
+    if spmd is not None:
+        doc["spmd"] = dict(spmd)
     doc.update(telemetry.as_dict())
     return doc
 
@@ -218,6 +227,31 @@ def validate_report(doc: Any) -> None:
     for i, v in enumerate(doc["values"]):
         _check_type(v, dict, f"values[{i}]")
         _check_keys(v, ["name", "value", "label"], f"values[{i}]")
+    if "spmd" in doc:
+        _validate_spmd(doc["spmd"], "spmd")
+
+
+def _validate_spmd(s: Any, path: str) -> None:
+    """Optional SPMD section: merged measured-vs-modeled comm phases."""
+    _check_type(s, dict, path)
+    _check_keys(
+        s, ["executor", "ranks", "wall_seconds", "modeled_seconds", "phases"], path
+    )
+    _check_type(s["executor"], str, path + ".executor")
+    _check_type(s["ranks"], int, path + ".ranks")
+    _check_type(s["wall_seconds"], _NUM, path + ".wall_seconds")
+    _check_type(s["modeled_seconds"], _NUM, path + ".modeled_seconds")
+    _check_type(s["phases"], dict, path + ".phases")
+    for kind, row in s["phases"].items():
+        _check_type(row, dict, f"{path}.phases[{kind!r}]")
+        _check_keys(
+            row,
+            ["calls", "messages", "words", "measured_seconds_max",
+             "modeled_seconds_max"],
+            f"{path}.phases[{kind!r}]",
+        )
+        for k, v in row.items():
+            _check_type(v, _NUM, f"{path}.phases[{kind!r}].{k}")
 
 
 # ---------------------------------------------------------------------------

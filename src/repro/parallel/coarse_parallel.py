@@ -19,6 +19,13 @@ on 63x63 (n = 3969) and 127x127 (n = 16129) five-point Poisson problems:
 The structural inputs (nnz(X), interface sizes) come from the *actual*
 factorization built by :class:`repro.solvers.xxt.XXTSolver` — the model
 only supplies alpha/beta/gamma.
+
+The closed-form models sweep P into the thousands; alongside them, the
+rank program :func:`xxt_solve_rank` makes the XXT strategy *executable*
+on the SPMD substrates for small P: rows of the factor are distributed,
+each rank contributes ``X[rows]^T b[rows]`` to a tree fan-in/fan-out
+carrying the dissection interface sizes, and applies its own rows of X to
+the result — the same program text on simulated clocks or real processes.
 """
 
 from __future__ import annotations
@@ -32,11 +39,14 @@ import scipy.sparse as sp
 
 from ..solvers.xxt import XXTSolver
 from .machine import Machine
+from .protocol import Comm
 
 __all__ = [
     "poisson_5pt",
     "CoarseSolveModel",
     "latency_lower_bound",
+    "XXTRankContext",
+    "xxt_solve_rank",
 ]
 
 
@@ -62,6 +72,34 @@ def poisson_5pt(nx: int, ny: int = None):
     a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
     coords = np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
     return a, coords
+
+
+@dataclass
+class XXTRankContext:
+    """One rank's slice of the distributed XXT factor (picklable)."""
+
+    x_rows: sp.csr_matrix  #: this rank's rows of X
+    rows: np.ndarray  #: global row indices those correspond to
+    words_per_level: np.ndarray  #: tree message sizes (interface values)
+
+
+def xxt_solve_rank(comm: Comm, ctx: XXTRankContext, b_local: np.ndarray) -> np.ndarray:
+    """The distributed-XXT rank program: ``x = X (X^T b)`` with rows split.
+
+    Each rank forms its partial ``w = X[rows]^T b[rows]`` (a full-length
+    vector), the tree fan-in/fan-out sums the partials — carrying the
+    dissection interface sizes the Fig. 6 model charges — and every rank
+    applies its own rows of X to the summed ``w``.  Returns this rank's
+    entries of the coarse solution.
+    """
+    with comm.trace("xxt_coarse"):
+        nnz = float(ctx.x_rows.nnz)
+        w = ctx.x_rows.T @ b_local
+        comm.compute(2.0 * nnz, mxm_fraction=0.0)
+        w = comm.fan_in_out(w, "+", words_per_level=ctx.words_per_level)
+        x_local = ctx.x_rows @ w
+        comm.compute(2.0 * nnz, mxm_fraction=0.0)
+    return x_local
 
 
 def latency_lower_bound(machine: Machine, p: int) -> float:
@@ -135,6 +173,51 @@ class CoarseSolveModel:
 
     def time_latency_bound(self, p: int) -> float:
         return latency_lower_bound(self.machine, p)
+
+    # ------------------------------------------------------- executable solve
+    def rank_contexts(self, p: int) -> List[XXTRankContext]:
+        """Cut the actual XXT factor into per-rank row slices."""
+        levels = math.ceil(math.log2(p)) if p > 1 else 0
+        if levels:
+            sizes = self.xxt.level_interface_sizes(levels)
+            per_level = np.asarray(sizes[:levels][::-1], dtype=float)
+        else:
+            per_level = np.zeros(0)
+        bounds = np.linspace(0, self.n, p + 1).astype(np.intp)
+        x_csr = self.xxt.x.tocsr()
+        return [
+            XXTRankContext(
+                x_rows=x_csr[bounds[r] : bounds[r + 1], :],
+                rows=np.arange(bounds[r], bounds[r + 1], dtype=np.intp),
+                words_per_level=per_level,
+            )
+            for r in range(p)
+        ]
+
+    def solve_xxt(self, b: np.ndarray, p: int, executor: str = "sim"):
+        """Run the distributed XXT solve for real on ``p`` SPMD ranks.
+
+        Returns ``(x, run)`` where ``run`` is the
+        :class:`~repro.parallel.exec.SPMDRunResult` (per-rank stats,
+        measured wall time, alpha-beta model).  The result matches
+        :meth:`repro.solvers.xxt.XXTSolver.solve` to roundoff and is
+        bitwise-identical across substrates.
+        """
+        from .exec import run_spmd
+
+        b = np.asarray(b, dtype=float)
+        ctxs = self.rank_contexts(p)
+        run = run_spmd(
+            xxt_solve_rank,
+            [(c, b[c.rows]) for c in ctxs],
+            ranks=p,
+            executor=executor,
+            machine=self.machine,
+        )
+        x = np.empty(self.n)
+        for c, part in zip(ctxs, run.results):
+            x[c.rows] = part
+        return x, run
 
     # ----------------------------------------------------------- the figure
     def sweep(self, p_values: List[int]) -> Dict[str, np.ndarray]:

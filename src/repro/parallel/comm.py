@@ -61,9 +61,10 @@ class SimComm:
     def compute_all(self, flops_per_rank, mxm_fraction: float = 1.0) -> None:
         """Charge computation to every rank (scalar or per-rank array)."""
         f = np.broadcast_to(np.asarray(flops_per_rank, dtype=float), (self.p,))
-        dt = np.array(
-            [self.machine.compute_time(fi, mxm_fraction) for fi in f]
-        )
+        # Broadcast of Machine.compute_time's alpha-beta-gamma formula: one
+        # vector expression instead of a per-rank Python loop.
+        m = self.machine
+        dt = f * mxm_fraction / m.mxm_rate + f * (1.0 - mxm_fraction) / m.other_rate
         self.clock += dt
         self.compute_time += dt
 
@@ -115,6 +116,21 @@ class SimComm:
         )
         self.comm_time += t - self.clock
         self.clock[:] = t
+        # Traffic accounting (kept consistent with exchange/send_recv/
+        # allreduce): a binary tree over P ranks has one parent link per
+        # non-root node, ~P/2^(l+1) of them at level l, each traversed once
+        # up (reduce) and once down (broadcast).
+        levels = math.ceil(math.log2(self.p))
+        try:
+            sizes = list(words_per_level)
+        except TypeError:
+            sizes = [float(words_per_level)] * levels
+        if len(sizes) < levels:
+            sizes = sizes + [sizes[-1]] * (levels - len(sizes))
+        for lvl in range(levels):
+            links = max(1, math.ceil(self.p / (1 << (lvl + 1))))
+            self.message_count += 2 * links
+            self.message_words += 2.0 * links * float(sizes[lvl])
 
     # ------------------------------------------------------------- reporting
     def elapsed(self) -> float:

@@ -10,18 +10,20 @@ most ``log2 P`` hops, with no connection setup and deterministic,
 contention-free scheduling — the property behind the paper's
 "latency * 2 log P" tree-routing assumption.
 
-:class:`CrystalRouter` implements the real algorithm (messages actually
-hop through intermediate ranks) on the virtual-time machine model, and
-reports per-round traffic.  :func:`route_compare_direct` contrasts it with
-naive direct pairwise delivery — the trade-off (fewer, larger messages vs
-more hops) that motivates router-style transports on high-latency
-machines.
+Since the comm-protocol refactor the routing algorithm is the rank program
+:func:`crystal_route_rank` — each rank holds only its own buffer and talks
+to its hypercube partners through the abstract
+:class:`~repro.parallel.protocol.Comm`, so the identical program text runs
+on simulated clocks or real processes.  :class:`CrystalRouter` is the
+driver; :func:`route_compare_direct` contrasts the router with naive
+direct pairwise delivery — the trade-off (fewer, larger messages vs more
+hops) that motivates router-style transports on high-latency machines.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,8 +32,15 @@ from ..obs.telemetry import record_comm
 from ..obs.trace import trace
 from .comm import SimComm
 from .machine import Machine
+from .protocol import Comm
 
-__all__ = ["Message", "CrystalRouter", "route_compare_direct"]
+__all__ = [
+    "Message",
+    "CrystalRouter",
+    "route_compare_direct",
+    "crystal_route_rank",
+    "direct_delivery_rank",
+]
 
 
 @dataclass
@@ -54,10 +63,70 @@ class RouteReport:
     per_round_words: List[int]
     simulated_seconds: float
     max_buffer_words: int
+    #: substrate that ran the routing ('sim' | 'mp')
+    executor: str = "sim"
+    #: real elapsed time of the run (0.0 for pure-sim runs of interest)
+    wall_seconds: float = 0.0
+
+
+def crystal_route_rank(comm: Comm, outgoing: Sequence[Message]) -> Dict[str, object]:
+    """The crystal-routing rank program: one rank's hypercube forwarding.
+
+    ``outgoing`` is this rank's originated messages.  In round k the rank
+    exchanges with partner ``rank ^ (1 << k)``, forwarding every buffered
+    message whose destination differs in bit k; headers are charged as 2
+    extra words per message per hop.  Returns the locally delivered
+    messages plus per-round sent words and the peak buffer size (the
+    driver aggregates these into the global report).
+    """
+    me = comm.rank
+    dims = int(math.log2(comm.size)) if comm.size > 1 else 0
+    buf: List[Message] = list(outgoing)
+    sent_words: List[int] = []
+    max_buffer = sum(m.n_words for m in buf)
+
+    with comm.trace("crystal_route"):
+        for k in range(dims):
+            bit = 1 << k
+            partner = me ^ bit
+            keep = [m for m in buf if not (m.dest ^ me) & bit]
+            send = [m for m in buf if (m.dest ^ me) & bit]
+            fwd = sum(m.n_words + 2 for m in send)
+            recv = comm.exchange(partner, send, words=float(fwd))
+            # Buffer order matches the pre-refactor serial sweep, which
+            # appended the lower rank's forwards first.
+            buf = (list(recv) + keep) if partner < me else (keep + list(recv))
+            sent_words.append(fwd)
+            max_buffer = max(max_buffer, sum(m.n_words for m in buf))
+
+    for m in buf:
+        if m.dest != me:
+            raise AssertionError("crystal router failed to deliver a message")
+    return {
+        "delivered": buf,
+        "sent_words": sent_words,
+        "max_buffer_words": max_buffer,
+    }
+
+
+def direct_delivery_rank(
+    comm: Comm, pairs: Sequence[Tuple[int, int, int]]
+) -> None:
+    """Naive transport rank program: one direct message per (src, dest).
+
+    ``pairs`` is the full, globally sorted ``(src, dest, words)`` list;
+    each rank plays its own part of it in order (send when source,
+    receive when destination), which keeps the schedule deterministic.
+    """
+    for src, dest, words in pairs:
+        if src == comm.rank:
+            comm.send_recv(dest=dest, payload=None, words=float(words))
+        if dest == comm.rank:
+            comm.send_recv(source=src)
 
 
 class CrystalRouter:
-    """Hypercube-routing transport over ``P = 2^d`` simulated ranks."""
+    """Hypercube-routing transport over ``P = 2^d`` SPMD ranks."""
 
     def __init__(self, machine: Machine, p: int):
         if p < 1 or (p & (p - 1)) != 0:
@@ -66,64 +135,53 @@ class CrystalRouter:
         self.p = p
         self.dims = int(math.log2(p)) if p > 1 else 0
 
-    def route(self, messages: Sequence[Message]) -> RouteReport:
+    def route(
+        self, messages: Sequence[Message], executor: str = "sim"
+    ) -> RouteReport:
         """Deliver all messages; returns payloads grouped by (src, dest).
 
         The header overhead (source/destination ids riding with each
         payload) is charged as 2 extra words per message per hop.
         Traced as ``crystal_route``; records a ``crystal`` comm record
         (rounds, words, peak buffer) when observability is enabled.
+        ``executor`` selects the substrate the rank program runs on.
         """
         with trace("crystal_route"):
-            return self._route(messages)
+            return self._route(messages, executor)
 
-    def _route(self, messages: Sequence[Message]) -> RouteReport:
+    def _route(self, messages: Sequence[Message], executor: str) -> RouteReport:
+        from .exec import run_spmd
+
         for m in messages:
             if not (0 <= m.src < self.p and 0 <= m.dest < self.p):
                 raise ValueError(f"message {m.src}->{m.dest} outside 0..{self.p - 1}")
-        comm = SimComm(self.machine, self.p)
-        # Buffers: per-rank list of in-flight messages.
-        buffers: List[List[Message]] = [[] for _ in range(self.p)]
-        for m in messages:
-            buffers[m.src].append(m)
-        per_round_words: List[int] = []
-        max_buffer = max((sum(m.n_words for m in b) for b in buffers), default=0)
 
-        for k in range(self.dims):
-            bit = 1 << k
-            round_words = 0
-            new_buffers: List[List[Message]] = [[] for _ in range(self.p)]
-            # Pairwise exchange along dimension k.
-            for r in range(self.p):
-                partner = r ^ bit
-                keep, send = [], []
-                for m in buffers[r]:
-                    (send if (m.dest ^ r) & bit else keep).append(m)
-                new_buffers[r].extend(keep)
-                new_buffers[partner].extend(send)
-                if r < partner:
-                    # Charge the bidirectional exchange once per pair.
-                    fwd = sum(m.n_words + 2 for m in buffers[r] if (m.dest ^ r) & bit)
-                    bwd = sum(
-                        m.n_words + 2
-                        for m in buffers[partner]
-                        if (m.dest ^ partner) & bit
-                    )
-                    comm.exchange(r, partner, max(fwd, bwd))
-                    round_words += fwd + bwd
-            buffers = new_buffers
-            per_round_words.append(round_words)
-            max_buffer = max(
-                max_buffer,
-                max((sum(m.n_words for m in b) for b in buffers), default=0),
-            )
+        outgoing: List[List[Message]] = [[] for _ in range(self.p)]
+        for m in messages:
+            outgoing[m.src].append(m)
+
+        sim = SimComm(self.machine, self.p) if executor == "sim" else None
+        run = run_spmd(
+            crystal_route_rank,
+            [(outgoing[r],) for r in range(self.p)],
+            ranks=self.p,
+            executor=executor,
+            machine=self.machine,
+            simcomm=sim,
+        )
 
         delivered: Dict[Tuple[int, int], List[np.ndarray]] = {}
         for r in range(self.p):
-            for m in buffers[r]:
-                if m.dest != r:
-                    raise AssertionError("crystal router failed to deliver a message")
+            for m in run.results[r]["delivered"]:
                 delivered.setdefault((m.src, m.dest), []).append(m.payload)
+        per_round_words = [
+            sum(run.results[r]["sent_words"][k] for r in range(self.p))
+            for k in range(self.dims)
+        ]
+        max_buffer = max(
+            (run.results[r]["max_buffer_words"] for r in range(self.p)), default=0
+        )
+
         record_comm(
             "crystal",
             f"p{self.p}",
@@ -136,8 +194,12 @@ class CrystalRouter:
             delivered=delivered,
             rounds=self.dims,
             per_round_words=per_round_words,
-            simulated_seconds=comm.elapsed(),
+            simulated_seconds=(
+                sim.elapsed() if sim is not None else run.modeled_seconds
+            ),
             max_buffer_words=int(max_buffer),
+            executor=executor,
+            wall_seconds=run.wall_seconds,
         )
 
 
@@ -148,18 +210,21 @@ def route_compare_direct(
 
     Direct delivery posts one message per (src, dest) pair (latency-heavy
     for scattered patterns); the router needs only ``log2 P`` exchange
-    rounds per rank but moves some payloads multiple hops.
+    rounds per rank but moves some payloads multiple hops.  Both
+    transports run as rank programs on the simulated substrate.
     """
+    from .exec.sim import run_sim
+
     router = CrystalRouter(machine, p)
     rep = router.route(messages)
 
-    comm = SimComm(machine, p)
     by_pair: Dict[Tuple[int, int], int] = {}
     for m in messages:
         if m.src != m.dest:
             by_pair[(m.src, m.dest)] = by_pair.get((m.src, m.dest), 0) + m.n_words
-    for (src, dest), words in sorted(by_pair.items()):
-        comm.send_recv(src, dest, words)
+    pairs = [(s, d, w) for (s, d), w in sorted(by_pair.items())]
+    comm = SimComm(machine, p)
+    run_sim(direct_delivery_rank, [(pairs,)] * p, comm)
     return {
         "crystal_seconds": rep.simulated_seconds,
         "direct_seconds": comm.elapsed(),

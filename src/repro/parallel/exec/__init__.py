@@ -1,0 +1,226 @@
+"""SPMD execution substrates: one rank program, three ways to run it.
+
+The paper's algorithms (gather-scatter, crystal router, distributed CG,
+XXT fan-in/out) are written once as *rank programs* against the abstract
+:class:`~repro.parallel.protocol.Comm` protocol, and this package supplies
+the interchangeable substrates:
+
+==========  ==================================================================
+executor    what runs
+==========  ==================================================================
+``sim``     cooperative threads over the virtual alpha-beta clocks of
+            :class:`~repro.parallel.comm.SimComm` (the cost model)
+``mp``      real ``multiprocessing`` workers with ``shared_memory``
+            payload transfer and wall-clock timing
+``mpi``     real MPI ranks via ``mpi4py`` (gated on availability)
+==========  ==================================================================
+
+:func:`run_spmd` is the uniform driver; it returns an
+:class:`SPMDRunResult` carrying per-rank results, per-rank
+:class:`~repro.parallel.protocol.CommStats`, and the merged
+measured-vs-modeled phase table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from ..comm import SimComm
+from ..machine import ASCI_RED_333, LOCALHOST_MP, Machine
+from ..protocol import Comm, CommStats, merge_stats
+from .mp import (
+    SHM_THRESHOLD,
+    MpComm,
+    SPMDTimeoutError,
+    SPMDWorkerError,
+    derive_rank_seed,
+    run_mp,
+)
+from .mpi import HAVE_MPI, MpiComm
+from .sim import SimRankComm, SimWorld, SPMDPeerError, run_sim
+
+__all__ = [
+    "EXECUTORS",
+    "HAVE_MPI",
+    "SPMDRunResult",
+    "SPMDPeerError",
+    "SPMDTimeoutError",
+    "SPMDWorkerError",
+    "run_spmd",
+    "available_executors",
+    "derive_rank_seed",
+    "MpComm",
+    "MpiComm",
+    "SimRankComm",
+    "SimWorld",
+    "run_sim",
+    "run_mp",
+    "SHM_THRESHOLD",
+]
+
+#: executor registry; 'mpi' requires mpi4py (HAVE_MPI).
+EXECUTORS = ("sim", "mp", "mpi")
+
+
+def available_executors() -> List[str]:
+    """Executors usable in this environment."""
+    return [e for e in EXECUTORS if e != "mpi" or HAVE_MPI]
+
+
+@dataclass
+class SPMDRunResult:
+    """Outcome of one SPMD run on any substrate."""
+
+    executor: str
+    ranks: int
+    results: List[Any]  #: per-rank return values of the program
+    stats: List[CommStats]  #: per-rank comm accounting
+    wall_seconds: float  #: real elapsed time of the whole run
+    modeled_seconds: float  #: alpha-beta elapsed (sim: virtual clock max)
+    sim: Optional[SimComm] = None  #: the accountant, for sim runs
+    rank_obs: List[Optional[dict]] = field(default_factory=list)  #: worker obs docs
+
+    @property
+    def merged(self) -> dict:
+        """Merged measured-vs-modeled phase table (see ``merge_stats``)."""
+        return merge_stats(self.stats)
+
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "ranks": self.ranks,
+            "wall_seconds": self.wall_seconds,
+            "modeled_seconds": self.modeled_seconds,
+            "merged": self.merged,
+            "per_rank": [s.as_dict() for s in self.stats],
+        }
+
+    def report_section(self) -> dict:
+        """The run as an obs-report ``spmd`` section (see ``report_json``).
+
+        Merges every rank's comm phases into one measured-vs-modeled table
+        and, when workers collected per-rank trace regions ('mp' executor
+        with obs enabled), attaches them under ``rank_regions``.
+        """
+        merged = self.merged
+        section = {
+            "executor": self.executor,
+            "ranks": self.ranks,
+            "wall_seconds": self.wall_seconds,
+            "modeled_seconds": self.modeled_seconds,
+            "phases": merged["phases"],
+            "messages": merged["messages"],
+            "words": merged["words"],
+            "comm_seconds_max": merged["comm_seconds_max"],
+            "modeled_comm_seconds_max": merged["modeled_comm_seconds_max"],
+            "compute_seconds_max": merged["compute_seconds_max"],
+            "per_rank": [s.as_dict() for s in self.stats],
+        }
+        regions = [
+            doc["regions"] for doc in self.rank_obs if doc and doc.get("regions")
+        ]
+        if regions:
+            section["rank_regions"] = regions
+        return section
+
+
+def run_spmd(
+    program,
+    rank_args: Sequence[tuple],
+    ranks: Optional[int] = None,
+    executor: str = "sim",
+    machine: Optional[Machine] = None,
+    simcomm: Optional[SimComm] = None,
+    timeout: Optional[float] = 600.0,
+    seed_base: Optional[str] = None,
+) -> SPMDRunResult:
+    """Run ``program(comm, *rank_args[r])`` on every rank of a substrate.
+
+    ``executor`` selects the substrate (``sim`` | ``mp`` | ``mpi``).  For
+    ``sim``, pass either an existing ``simcomm`` (its clocks keep
+    accumulating, matching the pre-protocol charging style) or a
+    ``machine`` to build a fresh one.  For ``mp``, ``machine`` parameterizes
+    the alpha-beta predictions reported next to the measured wall times and
+    ``timeout`` bounds the whole run (workers are terminated past it).
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    if ranks is None:
+        if simcomm is None:
+            raise ValueError("pass ranks= or an explicit simcomm")
+        ranks = simcomm.p
+    if ranks < 1:
+        raise ValueError(f"need at least one rank, got {ranks}")
+    if len(rank_args) != ranks:
+        raise ValueError(f"need {ranks} per-rank argument tuples, got {len(rank_args)}")
+
+    if executor == "sim":
+        if simcomm is None:
+            simcomm = SimComm(machine or ASCI_RED_333, ranks)
+        elif simcomm.p != ranks:
+            raise ValueError(f"simcomm has p={simcomm.p}, requested ranks={ranks}")
+        import time as _time
+
+        t0 = _time.perf_counter()
+        results, stats = run_sim(program, rank_args, simcomm)
+        wall = _time.perf_counter() - t0
+        return SPMDRunResult(
+            executor="sim",
+            ranks=ranks,
+            results=results,
+            stats=stats,
+            wall_seconds=wall,
+            modeled_seconds=simcomm.elapsed(),
+            sim=simcomm,
+            rank_obs=[None] * ranks,
+        )
+
+    machine = machine or LOCALHOST_MP
+    if executor == "mpi":
+        if not HAVE_MPI:
+            raise RuntimeError(
+                "executor 'mpi' requires mpi4py, which is not installed; "
+                "use 'sim' or 'mp'"
+            )
+        # Under mpirun every process calls run_spmd; this process runs its
+        # own rank only.  (Single-process 'mpi' with one rank also works.)
+        comm = MpiComm(machine)  # pragma: no cover - needs mpi4py
+        if comm.size != ranks:  # pragma: no cover
+            raise ValueError(f"mpirun launched {comm.size} ranks, requested {ranks}")
+        import time as _time  # pragma: no cover
+
+        t0 = _time.perf_counter()  # pragma: no cover
+        result = program(comm, *rank_args[comm.rank])  # pragma: no cover
+        wall = _time.perf_counter() - t0  # pragma: no cover
+        st = comm.stats()  # pragma: no cover
+        return SPMDRunResult(  # pragma: no cover
+            executor="mpi",
+            ranks=ranks,
+            results=[result],
+            stats=[st],
+            wall_seconds=wall,
+            modeled_seconds=st.compute_seconds + st.modeled_comm_seconds,
+            rank_obs=[None],
+        )
+
+    results, stats, rank_obs, wall = run_mp(
+        program,
+        rank_args,
+        ranks,
+        machine,
+        timeout=timeout,
+        seed_base=seed_base,
+    )
+    modeled = max(
+        (s.compute_seconds + s.modeled_comm_seconds for s in stats), default=0.0
+    )
+    return SPMDRunResult(
+        executor="mp",
+        ranks=ranks,
+        results=results,
+        stats=stats,
+        wall_seconds=wall,
+        modeled_seconds=modeled,
+        rank_obs=rank_obs,
+    )

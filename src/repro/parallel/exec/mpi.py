@@ -1,0 +1,127 @@
+"""MPI substrate: the Comm protocol over ``mpi4py``, when installed.
+
+The container this repo targets does not ship ``mpi4py``; the adapter is
+import-gated so the rest of the exec subsystem works without it.  When MPI
+*is* available (``HAVE_MPI``), ``mpirun -n P python -m repro spmd ...``
+runs each rank program on a real MPI rank with the same canonical
+rank-order reduction fold as the other substrates (collectives gather to
+rank 0 and broadcast, trading the log-P schedule for bitwise parity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..machine import Machine
+from ..protocol import Comm, CommStats, _Timer, payload_words, reduce_in_rank_order
+
+__all__ = ["HAVE_MPI", "MpiComm", "run_mpi_rank"]
+
+try:  # pragma: no cover - mpi4py is absent in the CI container
+    from mpi4py import MPI as _MPI
+
+    HAVE_MPI = True
+except ImportError:
+    _MPI = None
+    HAVE_MPI = False
+
+
+class MpiComm(Comm):  # pragma: no cover - exercised only under mpirun
+    """One MPI rank's communicator (requires ``mpi4py``)."""
+
+    def __init__(self, machine: Machine, mpi_comm=None):
+        if not HAVE_MPI:
+            raise RuntimeError(
+                "mpi4py is not installed; use the 'sim' or 'mp' executor"
+            )
+        self._comm = mpi_comm if mpi_comm is not None else _MPI.COMM_WORLD
+        self.rank = self._comm.Get_rank()
+        self.size = self._comm.Get_size()
+        self.machine = machine
+        self._stats = CommStats(rank=self.rank)
+
+    def compute(self, flops: float, mxm_fraction: float = 1.0) -> None:
+        self._stats.compute_flops += float(flops)
+        self._stats.compute_seconds += self.machine.compute_time(flops, mxm_fraction)
+
+    def exchange(self, peer: int, payload: Any, words: Optional[float] = None) -> Any:
+        w = self._words(payload, words)
+        with _Timer() as t:
+            out = self._comm.sendrecv(payload, dest=peer, source=peer)
+        self._stats.phase("exchange").add(1, w, t.dt, self.machine.msg_time(w))
+        return out
+
+    def send_recv(
+        self,
+        dest: Optional[int] = None,
+        payload: Any = None,
+        source: Optional[int] = None,
+        words: Optional[float] = None,
+    ) -> Any:
+        w = self._words(payload, words)
+        out = None
+        with _Timer() as t:
+            if dest is not None and source is not None:
+                out = self._comm.sendrecv(payload, dest=dest, source=source)
+            elif dest is not None:
+                self._comm.send(payload, dest=dest)
+            elif source is not None:
+                out = self._comm.recv(source=source)
+        modeled = (self.machine.alpha if dest is not None else 0.0) + (
+            self.machine.msg_time(payload_words(out)) if source is not None else 0.0
+        )
+        self._stats.phase("send_recv").add(
+            1 if dest is not None else 0,
+            w if dest is not None else payload_words(out),
+            t.dt,
+            modeled,
+        )
+        return out
+
+    def _gather_fold_bcast(self, value: Any, op: str) -> Any:
+        contribs = self._comm.gather(value, root=0)
+        result = reduce_in_rank_order(contribs, op) if self.rank == 0 else None
+        return self._comm.bcast(result, root=0)
+
+    def allreduce(self, value: Any, op: str = "+") -> Any:
+        w = payload_words(value)
+        with _Timer() as t:
+            out = self._gather_fold_bcast(value, op)
+        levels = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        self._stats.phase("allreduce").add(
+            levels, levels * w, t.dt, self.machine.allreduce_time(w, self.size)
+        )
+        return out
+
+    def barrier(self) -> None:
+        with _Timer() as t:
+            self._comm.Barrier()
+        levels = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        self._stats.phase("barrier").add(0, 0.0, t.dt, 2.0 * levels * self.machine.alpha)
+
+    def fan_in_out(self, value: Any, op: str = "+", words_per_level=None) -> Any:
+        w = payload_words(value)
+        with _Timer() as t:
+            out = self._gather_fold_bcast(value, op)
+        levels = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        modeled = self.machine.fan_in_out_time(
+            w if words_per_level is None else words_per_level, self.size
+        )
+        self._stats.phase("fan_in_out").add(2 * levels, 2.0 * levels * w, t.dt, modeled)
+        return out
+
+    def trace(self, name: str):
+        from ...obs.trace import trace as _trace
+
+        return _trace(name)
+
+    def stats(self) -> CommStats:
+        return self._stats
+
+
+def run_mpi_rank(program, args: tuple, machine: Machine):  # pragma: no cover
+    """Run one rank program on this process's MPI rank (under ``mpirun``)."""
+    comm = MpiComm(machine)
+    result = program(comm, *args)
+    return result, comm.stats()

@@ -1,0 +1,323 @@
+"""Simulated substrate: SPMD rank programs on virtual alpha-beta clocks.
+
+Runs ``P`` rank programs as cooperative threads in one process; every
+:class:`~repro.parallel.protocol.Comm` operation *moves real data* between
+the threads (rendezvous exchange, mailbox send/recv, rank-order-fold
+collectives) while the shared :class:`~repro.parallel.comm.SimComm`
+accountant advances one virtual clock per rank exactly as before — the
+same critical-path semantics the Fig. 6 / Table 4 models are built on.
+
+Determinism: the final virtual clocks do not depend on thread scheduling.
+Every operation synchronizes its participants (both sides of an exchange
+block until matched; collectives block everyone), costs are charged once
+at match time from the participants' current clocks, and operations with
+disjoint participants commute (``max`` + add on disjoint clock entries).
+Data determinism comes from the canonical rank-order fold shared with the
+process-level substrates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm import SimComm
+from ..protocol import Comm, CommStats, payload_words, reduce_in_rank_order
+
+__all__ = ["SimWorld", "SimRankComm", "SPMDPeerError", "run_sim"]
+
+
+class SPMDPeerError(RuntimeError):
+    """Raised in ranks whose peers died mid-program."""
+
+
+def _copy(payload: Any) -> Any:
+    """Give each rank its own array object (mirrors process isolation)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return payload
+
+
+class SimWorld:
+    """Shared state of one simulated SPMD run: clocks + rendezvous points."""
+
+    def __init__(self, simcomm: SimComm):
+        self.sim = simcomm
+        self.p = simcomm.p
+        self.cond = threading.Condition()
+        self.failed: Optional[Tuple[int, BaseException]] = None
+        # pairwise exchange: pair -> {rank: (payload, words)} / {rank: result}
+        self._xchg_in: Dict[Tuple[int, int], Dict[int, Tuple[Any, float]]] = {}
+        self._xchg_out: Dict[Tuple[int, int], Dict[int, Any]] = {}
+        # directional mailboxes: (src, dst) -> queued (payload, send_clock, words)
+        self._mail: Dict[Tuple[int, int], deque] = {}
+        # current collective: kind/op/items; results keyed per rank
+        self._coll: Optional[dict] = None
+        self._coll_out: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------ errors
+    def fail(self, rank: int, exc: BaseException) -> None:
+        with self.cond:
+            if self.failed is None:
+                self.failed = (rank, exc)
+            self.cond.notify_all()
+
+    def _check_failed(self) -> None:
+        if self.failed is not None:
+            raise SPMDPeerError(
+                f"rank {self.failed[0]} failed: {self.failed[1]!r}"
+            )
+
+    def _wait(self) -> None:
+        self.cond.wait()
+        self._check_failed()
+
+    # ------------------------------------------------------------------- compute
+    def compute(self, rank: int, flops: float, mxm_fraction: float) -> None:
+        with self.cond:
+            self.sim.compute(rank, flops, mxm_fraction)
+
+    # ------------------------------------------------------------------ exchange
+    def exchange(self, me: int, peer: int, payload: Any, words: float) -> Any:
+        if peer == me or not (0 <= peer < self.p):
+            raise ValueError(f"rank {me}: invalid exchange peer {peer}")
+        pair = (min(me, peer), max(me, peer))
+        with self.cond:
+            self._check_failed()
+            slot = self._xchg_in.setdefault(pair, {})
+            if me in slot:
+                raise RuntimeError(f"rank {me}: unmatched exchange on {pair}")
+            slot[me] = (payload, words)
+            if peer in slot:
+                # Second arrival: both participants are blocked here, so
+                # their clocks are current — charge the pairwise message
+                # once (max of the two directions, as the router did).
+                peer_payload, peer_words = slot[peer]
+                self.sim.exchange(me, peer, max(words, peer_words))
+                out = self._xchg_out.setdefault(pair, {})
+                out[me] = _copy(peer_payload)
+                out[peer] = _copy(payload)
+                del self._xchg_in[pair]
+                self.cond.notify_all()
+            while not (
+                pair in self._xchg_out and me in self._xchg_out[pair]
+            ):
+                self._wait()
+            result = self._xchg_out[pair].pop(me)
+            if not self._xchg_out[pair]:
+                del self._xchg_out[pair]
+            return result
+
+    # ----------------------------------------------------------------- send/recv
+    def send(self, src: int, dst: int, payload: Any, words: float) -> None:
+        with self.cond:
+            self._check_failed()
+            # SimComm.send_recv semantics, split across the rendezvous: the
+            # receive completes at max(sender clock at send, receiver clock)
+            # + message time; the sender is freed after injecting (alpha).
+            send_clock = float(self.sim.clock[src])
+            self.sim.clock[src] += self.sim.machine.alpha
+            self.sim.comm_time[src] += self.sim.machine.alpha
+            self.sim.message_count += 1
+            self.sim.message_words += words
+            self._mail.setdefault((src, dst), deque()).append(
+                (_copy(payload), send_clock, words)
+            )
+            self.cond.notify_all()
+
+    def recv(self, src: int, dst: int) -> Any:
+        with self.cond:
+            self._check_failed()
+            box = self._mail.setdefault((src, dst), deque())
+            while not box:
+                self._wait()
+            payload, send_clock, words = box.popleft()
+            t = max(send_clock, float(self.sim.clock[dst])) + self.sim.machine.msg_time(
+                words
+            )
+            self.sim.comm_time[dst] += t - self.sim.clock[dst]
+            self.sim.clock[dst] = t
+            return payload
+
+    # ---------------------------------------------------------------- collectives
+    def collective(
+        self,
+        me: int,
+        kind: str,
+        payload: Any,
+        op: str,
+        words: float,
+        words_per_level=None,
+    ) -> Any:
+        with self.cond:
+            self._check_failed()
+            if self._coll is None:
+                self._coll = {"kind": kind, "op": op, "items": {}}
+            state = self._coll
+            if state["kind"] != kind or state["op"] != op:
+                exc = RuntimeError(
+                    f"mismatched collectives: rank {me} called {kind}/{op}, "
+                    f"others are in {state['kind']}/{state['op']}"
+                )
+                self.failed = self.failed or (me, exc)
+                self.cond.notify_all()
+                raise exc
+            state["items"][me] = payload
+            if len(state["items"]) == self.p:
+                items = [state["items"][r] for r in range(self.p)]
+                if kind == "allreduce":
+                    result = reduce_in_rank_order(items, op)
+                    self.sim.allreduce(words)
+                elif kind == "fan_in_out":
+                    result = reduce_in_rank_order(items, op)
+                    self.sim.fan_in_out(
+                        words if words_per_level is None else words_per_level
+                    )
+                else:  # barrier
+                    result = None
+                    self.sim.barrier()
+                for r in range(self.p):
+                    self._coll_out[r] = _copy(result)
+                self._coll = None
+                self.cond.notify_all()
+            while me not in self._coll_out:
+                self._wait()
+            return self._coll_out.pop(me)
+
+
+class SimRankComm(Comm):
+    """One simulated rank's view: the Comm protocol over a :class:`SimWorld`."""
+
+    def __init__(self, world: SimWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.p
+        self._stats = CommStats(rank=rank)
+
+    # clock bookkeeping: while this rank sits inside one op nothing else can
+    # move its clock (all ops synchronize their participants), so reading
+    # before/after without holding the lock across the op is race-free.
+    def _clock(self) -> float:
+        return float(self.world.sim.clock[self.rank])
+
+    def compute(self, flops: float, mxm_fraction: float = 1.0) -> None:
+        t0 = self._clock()
+        self.world.compute(self.rank, flops, mxm_fraction)
+        self._stats.compute_flops += float(flops)
+        self._stats.compute_seconds += self._clock() - t0
+
+    def exchange(self, peer: int, payload: Any, words: Optional[float] = None) -> Any:
+        w = self._words(payload, words)
+        t0 = self._clock()
+        out = self.world.exchange(self.rank, peer, payload, w)
+        dt = self._clock() - t0
+        self._stats.phase("exchange").add(1, w, dt, dt)
+        return out
+
+    def send_recv(
+        self,
+        dest: Optional[int] = None,
+        payload: Any = None,
+        source: Optional[int] = None,
+        words: Optional[float] = None,
+    ) -> Any:
+        w = self._words(payload, words)
+        t0 = self._clock()
+        out = None
+        if dest is not None:
+            self.world.send(self.rank, dest, payload, w)
+        if source is not None:
+            out = self.world.recv(source, self.rank)
+        dt = self._clock() - t0
+        self._stats.phase("send_recv").add(
+            1 if dest is not None else 0,
+            w if dest is not None else payload_words(out),
+            dt,
+            dt,
+        )
+        return out
+
+    def allreduce(self, value: Any, op: str = "+") -> Any:
+        w = payload_words(value)
+        t0 = self._clock()
+        out = self.world.collective(self.rank, "allreduce", value, op, w)
+        dt = self._clock() - t0
+        levels = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        self._stats.phase("allreduce").add(levels, levels * w, dt, dt)
+        return out
+
+    def barrier(self) -> None:
+        t0 = self._clock()
+        self.world.collective(self.rank, "barrier", None, "+", 0.0)
+        dt = self._clock() - t0
+        self._stats.phase("barrier").add(0, 0.0, dt, dt)
+
+    def fan_in_out(self, value: Any, op: str = "+", words_per_level=None) -> Any:
+        w = payload_words(value)
+        t0 = self._clock()
+        out = self.world.collective(
+            self.rank, "fan_in_out", value, op, w, words_per_level=words_per_level
+        )
+        dt = self._clock() - t0
+        levels = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        try:
+            lw = list(words_per_level)[:levels] if words_per_level is not None else None
+        except TypeError:
+            lw = [float(words_per_level)] * levels
+        total_w = 2.0 * sum(lw) if lw else 2.0 * levels * w
+        self._stats.phase("fan_in_out").add(2 * levels, total_w, dt, dt)
+        return out
+
+    def stats(self) -> CommStats:
+        return self._stats
+
+
+def run_sim(
+    program,
+    rank_args: Sequence[tuple],
+    simcomm: SimComm,
+):
+    """Execute ``program(comm, *rank_args[r])`` on every simulated rank.
+
+    Returns ``(results, stats)`` in rank order.  The caller owns the
+    ``simcomm`` — virtual elapsed time, per-rank compute/comm seconds and
+    message totals accumulate there, exactly as the pre-protocol code
+    charged them.
+    """
+    p = simcomm.p
+    if len(rank_args) != p:
+        raise ValueError(f"need {p} per-rank argument tuples, got {len(rank_args)}")
+    world = SimWorld(simcomm)
+    results: List[Any] = [None] * p
+    stats: List[CommStats] = [CommStats(rank=r) for r in range(p)]
+
+    if p == 1:
+        comm = SimRankComm(world, 0)
+        results[0] = program(comm, *rank_args[0])
+        return results, [comm.stats()]
+
+    def runner(r: int) -> None:
+        comm = SimRankComm(world, r)
+        stats[r] = comm._stats
+        try:
+            results[r] = program(comm, *rank_args[r])
+        except SPMDPeerError:
+            pass  # a peer already carries the root cause
+        except BaseException as exc:  # noqa: BLE001 - must wake peers
+            world.fail(r, exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-sim-{r}", daemon=True)
+        for r in range(p)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world.failed is not None:
+        raise world.failed[1]
+    return results, stats

@@ -11,17 +11,27 @@ The interface mirrors the paper's stand-alone utility:
     handle = gs_init(global-node-numbers, n)
     ierr   = gs_op(u, op, handle)
 
-Here :func:`gs_init` takes the per-rank global-id arrays of a partitioned
-mesh and builds the pairwise exchange pattern; :meth:`GatherScatter.gs_op`
-performs the reduction on real data (everything lives in one address
-space) while charging the message costs to a :class:`~repro.parallel.comm.SimComm`.
-Vector mode (multiple dofs per node, e.g. the d velocity components) sends
-all components of a shared node in the same message, exactly the "vector
-mode" optimization the paper describes.
+Since the comm-protocol refactor this is a true SPMD kernel: the setup
+phase (:func:`gs_init`) analyzes the global sharing pattern and cuts one
+:class:`RankGS` handle per rank; the operation itself is the rank program
+:func:`gs_op_rank`, which runs unmodified on every
+:class:`~repro.parallel.protocol.Comm` substrate — simulated alpha-beta
+clocks or real processes.  Each rank pre-reduces its own copies, exchanges
+interface values pairwise with neighbors in ascending rank order
+(deadlock-free), and folds contributions **in ascending rank order** so
+the result is bitwise-identical across substrates.  Vector mode (multiple
+dofs per node, e.g. the d velocity components) sends all components of a
+shared node in the same message, exactly the "vector mode" optimization
+the paper describes.
+
+:meth:`GatherScatter.gs_op` keeps the original all-ranks-at-once
+convenience interface by running the rank program on the simulated
+substrate.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,15 +39,88 @@ import numpy as np
 from ..obs.telemetry import record_comm
 from ..obs.trace import trace
 from .comm import SimComm
+from .machine import ASCI_RED_333
+from .protocol import REDUCE_OPS, Comm
 
-__all__ = ["gs_init", "GatherScatter"]
+__all__ = ["gs_init", "GatherScatter", "RankGS", "gs_op_rank"]
 
-_OPS = {
-    "+": (np.add, 0.0),
-    "*": (np.multiply, 1.0),
-    "max": (np.maximum, -np.inf),
-    "min": (np.minimum, np.inf),
-}
+# Backwards-compatible alias; the canonical table lives in the protocol.
+_OPS = REDUCE_OPS
+
+
+@dataclass
+class RankGS:
+    """One rank's view of a gather-scatter pattern (static setup data).
+
+    Built once by :meth:`GatherScatter.rank_handles`; consumed by
+    :func:`gs_op_rank` on any substrate.  All arrays are positional
+    indices, precomputed so the hot path does no id arithmetic.
+    """
+
+    rank: int
+    size: int
+    shape: Tuple[int, ...]  #: shape of this rank's value array (id layout)
+    uniq: np.ndarray  #: sorted unique global ids on this rank
+    inv: np.ndarray  #: flat local index -> position in ``uniq``
+    neighbors: List[int]  #: peer ranks sharing ids, ascending
+    send_pos: Dict[int, np.ndarray]  #: per peer: positions in ``uniq`` shared
+    #: combine plan: (sharing ranks ascending, positions in ``uniq``,
+    #: per-peer index into that peer's exchange buffer)
+    groups: List[Tuple[Tuple[int, ...], np.ndarray, Dict[int, np.ndarray]]]
+
+
+def gs_op_rank(comm: Comm, handle: RankGS, value: np.ndarray, op: str = "+"):
+    """The gather-scatter rank program: one rank's gs_op on any substrate.
+
+    Pre-reduces local duplicate ids, exchanges interface values with each
+    neighbor in ascending rank order, then folds every shared id's
+    contributions in ascending rank order (canonical, bitwise-stable).
+    Returns this rank's updated values, shaped like the input.
+    """
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
+    ufunc, init = REDUCE_OPS[op]
+
+    v = np.asarray(value, dtype=float)
+    base = handle.shape
+    if v.shape == base:
+        vec_width = 1
+        flat = v.reshape(-1, 1)
+    elif v.shape[: len(base)] == base and v.ndim == len(base) + 1:
+        vec_width = v.shape[-1]
+        flat = v.reshape(-1, vec_width)
+    else:
+        raise ValueError(
+            f"rank {handle.rank}: value shape {v.shape} does not match ids {base}"
+        )
+
+    with comm.trace("gs_op"):
+        # Local pre-reduce: fold this rank's own copies in index order.
+        loc = np.full((handle.uniq.size, vec_width), init)
+        ufunc.at(loc, handle.inv, flat)
+        comm.compute(flat.size, mxm_fraction=0.0)
+
+        # One pairwise exchange per neighbor, ascending rank order.
+        recv: Dict[int, np.ndarray] = {}
+        for q in handle.neighbors:
+            send = loc[handle.send_pos[q]]
+            recv[q] = np.asarray(
+                comm.exchange(q, send, words=float(send.shape[0] * vec_width))
+            )
+
+        # Canonical combine: every shared id folds its sharing ranks'
+        # pre-reduced contributions in ascending rank order.
+        res = loc.copy()
+        for ranks, sel, peer_idx in handle.groups:
+            acc = np.full((sel.size, vec_width), init)
+            for q in ranks:
+                contrib = loc[sel] if q == handle.rank else recv[q][peer_idx[q]]
+                acc = ufunc(acc, contrib)
+            res[sel] = acc
+
+    out = res[handle.inv]
+    shape = base + ((vec_width,) if vec_width > 1 else ())
+    return out.reshape(shape)
 
 
 class GatherScatter:
@@ -75,6 +158,7 @@ class GatherScatter:
                     key = (rs[i], rs[j])
                     pair_counts[key] = pair_counts.get(key, 0) + 1
         self.pair_counts = pair_counts
+        self._rank_handles: Optional[List[RankGS]] = None
 
     # -------------------------------------------------------------- metrics
     @property
@@ -98,6 +182,69 @@ class GatherScatter:
             cnt[b] += 1
         return cnt
 
+    # --------------------------------------------------------- rank handles
+    def rank_handles(self) -> List[RankGS]:
+        """Cut the global pattern into per-rank :class:`RankGS` handles."""
+        if self._rank_handles is not None:
+            return self._rank_handles
+
+        # ids shared per unordered rank pair, sorted by global id (this is
+        # the wire order of every exchange buffer).
+        pair_ids: Dict[Tuple[int, int], List[int]] = {}
+        for g in sorted(self.shared_ids):
+            rs = self.shared_ids[g]
+            for i in range(len(rs)):
+                for j in range(i + 1, len(rs)):
+                    pair_ids.setdefault((rs[i], rs[j]), []).append(g)
+
+        handles = []
+        for r in range(self.p):
+            uniq, inv = np.unique(self.local_ids[r], return_inverse=True)
+            pos_of = {int(g): i for i, g in enumerate(uniq)}
+
+            neighbors = sorted(
+                (b if a == r else a) for (a, b) in pair_ids if r in (a, b)
+            )
+            send_pos = {}
+            pair_arr = {}
+            for q in neighbors:
+                key = (min(r, q), max(r, q))
+                gs = pair_ids[key]
+                send_pos[q] = np.array([pos_of[g] for g in gs], dtype=np.intp)
+                pair_arr[q] = np.asarray(gs, dtype=np.int64)
+
+            # Group this rank's shared ids by their sharing-rank signature;
+            # precompute, per group, where each peer's contribution sits in
+            # that peer's exchange buffer.
+            by_sig: Dict[Tuple[int, ...], List[int]] = {}
+            for g in sorted(self.shared_ids):
+                rs = self.shared_ids[g]
+                if r in rs:
+                    by_sig.setdefault(tuple(rs), []).append(g)
+            groups = []
+            for sig, gs in by_sig.items():
+                gs_arr = np.asarray(gs, dtype=np.int64)
+                sel = np.array([pos_of[g] for g in gs], dtype=np.intp)
+                peer_idx = {
+                    q: np.searchsorted(pair_arr[q], gs_arr) for q in sig if q != r
+                }
+                groups.append((sig, sel, peer_idx))
+
+            handles.append(
+                RankGS(
+                    rank=r,
+                    size=self.p,
+                    shape=self.local_shapes[r],
+                    uniq=uniq,
+                    inv=inv,
+                    neighbors=neighbors,
+                    send_pos=send_pos,
+                    groups=groups,
+                )
+            )
+        self._rank_handles = handles
+        return handles
+
     # -------------------------------------------------------------- operation
     def gs_op(
         self,
@@ -110,51 +257,42 @@ class GatherScatter:
         ``values`` holds one array per rank, shaped like the ids given to
         ``gs_init`` (plus an optional trailing component axis for vector
         mode).  All copies of a global node end up with the reduced value.
-        If ``comm`` is given, pairwise message costs are charged to it in a
-        single communication phase.
+
+        This convenience interface runs :func:`gs_op_rank` on the simulated
+        substrate; if ``comm`` is given, message costs are charged to it in
+        a single communication phase (one pairwise exchange per sharing
+        pair), exactly as before the refactor.
         """
-        if op not in _OPS:
-            raise ValueError(f"unknown op {op!r}; choose from {sorted(_OPS)}")
+        from .exec.sim import run_sim
+
+        if op not in REDUCE_OPS:
+            raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
         if len(values) != self.p:
             raise ValueError(f"expected {self.p} rank arrays, got {len(values)}")
-        ufunc, init = _OPS[op]
 
         vec_width = 1
-        flat_vals = []
         for r, v in enumerate(values):
-            v = np.asarray(v, dtype=float)
+            v = np.asarray(v)
             base = self.local_shapes[r]
             if v.shape == base:
-                flat_vals.append(v.reshape(-1, 1))
+                pass
             elif v.shape[: len(base)] == base and v.ndim == len(base) + 1:
                 vec_width = v.shape[-1]
-                flat_vals.append(v.reshape(-1, v.shape[-1]))
             else:
                 raise ValueError(
                     f"rank {r}: value shape {v.shape} does not match ids {base}"
                 )
+        if comm is not None and comm.p != self.p:
+            raise ValueError("SimComm rank count does not match handle")
 
+        sim = comm if comm is not None else SimComm(ASCI_RED_333, self.p)
+        handles = self.rank_handles()
         with trace("gs_op"):
-            # Global reduction (the real data path).
-            acc = np.full((self.n_global, vec_width), init)
-            for r, fv in enumerate(flat_vals):
-                ufunc.at(acc, self.local_ids[r], fv)
-            out = []
-            for r, fv in enumerate(flat_vals):
-                res = acc[self.local_ids[r]]
-                shape = self.local_shapes[r] + ((vec_width,) if vec_width > 1 else ())
-                out.append(res.reshape(shape))
-
-            # Cost accounting: one phase of pairwise exchanges.
-            if comm is not None:
-                if comm.p != self.p:
-                    raise ValueError("SimComm rank count does not match handle")
-                for (a, b), c in self.pair_counts.items():
-                    comm.exchange(a, b, c * vec_width)
-                # local combine flops
-                comm.compute_all(
-                    [fv.size for fv in flat_vals], mxm_fraction=0.0
-                )
+            out, _ = run_sim(
+                gs_op_rank,
+                [(handles[r], values[r], op) for r in range(self.p)],
+                sim,
+            )
             # Each sharing pair exchanges its shared-node values both ways.
             record_comm(
                 "gs",
@@ -164,7 +302,7 @@ class GatherScatter:
                 ranks=self.p,
                 vec_width=vec_width,
             )
-            return out
+        return out
 
 
 def gs_init(local_ids: Sequence[np.ndarray], n: Optional[int] = None) -> GatherScatter:

@@ -27,6 +27,7 @@ __all__ = [
     "ASCI_RED_333",
     "ASCI_RED_333_PERF",
     "GENERIC_CLUSTER",
+    "LOCALHOST_MP",
 ]
 
 
@@ -133,4 +134,17 @@ GENERIC_CLUSTER = Machine(
     beta=8.0 / 10e9,
     mxm_rate=20e9,
     other_rate=2e9,
+)
+
+#: Rough model of the 'mp' executor's transport: pipes + shared memory
+#: between processes on one host.  Latency is dominated by the pickle /
+#: context-switch round trip, bandwidth by a memory copy.  Used as the
+#: default alpha-beta prediction shown next to measured wall times in
+#: ``BENCH_spmd_scaling.json``.
+LOCALHOST_MP = Machine(
+    name="localhost-mp",
+    alpha=30e-6,
+    beta=8.0 / 2e9,
+    mxm_rate=5e9,
+    other_rate=1e9,
 )

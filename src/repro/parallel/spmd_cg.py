@@ -1,30 +1,35 @@
-"""SPMD execution of the SEM conjugate-gradient solve on the simulated
-machine — the paper's Section 6 runtime structure, made executable.
+"""SPMD execution of the SEM conjugate-gradient solve — the paper's
+Section 6 runtime structure, made executable on interchangeable substrates.
 
 "Contiguous groups of elements are distributed to processors and
 computation proceeds in a loosely synchronous manner ... the principal
 communication kernel is the gather-scatter operation required for the
 residual vector assembly."
 
-:class:`DistributedSEMSolver` partitions a mesh's elements (recursive
-spectral bisection), builds the per-rank gather-scatter handle, and runs
-Jacobi-PCG where
+Since the comm-protocol refactor the solver core is
+:func:`cg_rank_program` — a true per-rank SPMD program written against the
+abstract :class:`~repro.parallel.protocol.Comm` protocol.  The *same
+program text* runs on
 
-* each operator application is charged per-rank (its own element count),
-* each ``dssum`` goes through :meth:`GatherScatter.gs_op` with the pairwise
-  exchange pattern priced on the machine model,
-* each inner product costs an allreduce.
+* the simulated substrate (virtual alpha-beta clocks, the cost model
+  behind Table 4's communication terms), and
+* the real ``multiprocessing`` substrate (one OS process per rank,
+  ``shared_memory`` transport, wall-clock timing),
 
-The numerical results are bitwise-comparable to the serial solver (same
-arithmetic, same iterates); the virtual clocks yield speedup/efficiency
-curves for real (small) problems — the mechanism behind Table 4's
-communication terms, validated end-to-end.
+and produces **bitwise-identical iterates** on both — every reduction
+(gather-scatter combine, inner-product allreduce) folds contributions in
+ascending rank order (see :mod:`repro.parallel.protocol`), so there is no
+substrate-dependent arithmetic.  ``tests/test_spmd_parity.py`` pins this.
+
+:class:`DistributedSEMSolver` is the driver: it partitions the mesh
+(recursive spectral bisection), builds per-rank operator/gs contexts, and
+dispatches the rank program onto the chosen executor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -37,11 +42,17 @@ from ..obs.telemetry import record_comm, record_solve
 from ..obs.trace import trace
 from ..perf.flops import add_flops
 from .comm import SimComm
-from .gs import GatherScatter, gs_init
+from .gs import GatherScatter, RankGS, gs_init, gs_op_rank
 from .machine import Machine
 from .partition import recursive_spectral_bisection
+from .protocol import Comm, merge_stats
 
-__all__ = ["DistributedSEMSolver", "DistributedSolveResult"]
+__all__ = [
+    "DistributedSEMSolver",
+    "DistributedSolveResult",
+    "CGRankContext",
+    "cg_rank_program",
+]
 
 
 def _slice_geom(geom: GeomFactors, idx: np.ndarray) -> GeomFactors:
@@ -57,6 +68,87 @@ def _slice_geom(geom: GeomFactors, idx: np.ndarray) -> GeomFactors:
 
 
 @dataclass
+class CGRankContext:
+    """Everything one rank needs to run the CG program (picklable)."""
+
+    op: HelmholtzOperator  #: this rank's elements only
+    gs: RankGS  #: per-rank gather-scatter handle
+    inv_mult: np.ndarray  #: 1/multiplicity for the unique-dof inner product
+    inv_dia: np.ndarray  #: Jacobi preconditioner diagonal (this rank's slice)
+    mask: np.ndarray  #: Dirichlet mask factor (this rank's slice)
+    apply_flops: float  #: flop charge of one local operator application
+
+
+def _dot(comm: Comm, ctx: CGRankContext, a: np.ndarray, b: np.ndarray) -> float:
+    """Unique-dof inner product: local weighted sum + rank-order allreduce."""
+    local = float(np.sum(a * b * ctx.inv_mult))
+    comm.compute(3.0 * a.size, mxm_fraction=0.0)
+    return comm.allreduce(local, "+")
+
+
+def _matvec(comm: Comm, ctx: CGRankContext, v: np.ndarray) -> np.ndarray:
+    """Masked assembled operator: local apply + gather-scatter assembly."""
+    w = ctx.op.apply(v)
+    comm.compute(ctx.apply_flops, mxm_fraction=0.95)
+    w = gs_op_rank(comm, ctx.gs, w, "+")
+    return w * ctx.mask
+
+
+def cg_rank_program(
+    comm: Comm,
+    ctx: CGRankContext,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+) -> Dict[str, Any]:
+    """Jacobi-PCG, one rank's view.  Runs unmodified on every substrate.
+
+    All ranks follow the identical scalar recurrence (every scalar is the
+    result of an allreduce), so control flow stays loosely synchronous
+    without any extra coordination.  Returns this rank's solution block
+    plus the (globally identical) iteration metadata and residual history.
+    """
+    with comm.trace("spmd_cg"):
+        x = np.zeros_like(b)
+        r = b.copy()
+        z = r * ctx.inv_dia
+        p_dir = z.copy()
+        rz = _dot(comm, ctx, r, z)
+        norm_r = float(np.sqrt(max(_dot(comm, ctx, r, r), 0.0)))
+        history = [norm_r]
+        it = 0
+        converged = norm_r <= tol
+        while not converged and it < maxiter:
+            ap = _matvec(comm, ctx, p_dir)
+            pap = _dot(comm, ctx, p_dir, ap)
+            if pap <= 0:
+                raise np.linalg.LinAlgError("distributed PCG breakdown")
+            alpha = rz / pap
+            x += alpha * p_dir
+            r -= alpha * ap
+            comm.compute(4.0 * x.size, mxm_fraction=0.0)
+            norm_r = float(np.sqrt(max(_dot(comm, ctx, r, r), 0.0)))
+            history.append(norm_r)
+            it += 1
+            if norm_r <= tol:
+                converged = True
+                break
+            z = r * ctx.inv_dia
+            rz_new = _dot(comm, ctx, r, z)
+            beta = rz_new / rz
+            rz = rz_new
+            p_dir = z + beta * p_dir
+            comm.compute(2.0 * z.size, mxm_fraction=0.0)
+    return {
+        "x": x,
+        "iterations": it,
+        "converged": bool(converged),
+        "residual_norm": norm_r,
+        "history": history,
+    }
+
+
+@dataclass
 class DistributedSolveResult:
     """Outcome of one distributed solve."""
 
@@ -68,10 +160,18 @@ class DistributedSolveResult:
     compute_seconds: float
     comm_seconds: float
     messages: int
+    #: substrate that ran the solve ('sim' | 'mp')
+    executor: str = "sim"
+    #: real elapsed time of the run (threads for sim, processes for mp)
+    wall_seconds: float = 0.0
+    #: per-iteration residual norms (identical on every rank)
+    history: List[float] = field(default_factory=list)
+    #: merged measured-vs-modeled phase table (see ``merge_stats``)
+    phases: Dict[str, Any] = field(default_factory=dict)
 
 
 class DistributedSEMSolver:
-    """Jacobi-PCG for ``(h1 A + h0 B) u = f`` on P simulated ranks.
+    """Jacobi-PCG for ``(h1 A + h0 B) u = f`` on P SPMD ranks.
 
     Parameters
     ----------
@@ -155,31 +255,20 @@ class DistributedSEMSolver:
             out[e] = v
         return out
 
-    def _matvec(self, parts: List[np.ndarray], comm: SimComm) -> List[np.ndarray]:
-        """Masked assembled operator, executed rank by rank with costs."""
-        out = []
-        for r, v in enumerate(parts):
-            w = self._rank_ops[r].apply(v)  # this rank's elements only
-            out.append(w)
-            comm.compute(
-                r, self._apply_flops_per_el * self.rank_elems[r].size,
-                mxm_fraction=0.95,
+    def rank_contexts(self) -> List[CGRankContext]:
+        """Per-rank program contexts (picklable; built once, reused)."""
+        handles = self.gs.rank_handles()
+        return [
+            CGRankContext(
+                op=self._rank_ops[r],
+                gs=handles[r],
+                inv_mult=self._inv_mult[r],
+                inv_dia=self._inv_dia[self.rank_elems[r]],
+                mask=self.mask.factor[self.rank_elems[r]],
+                apply_flops=self._apply_flops_per_el * self.rank_elems[r].size,
             )
-        out = self.gs.gs_op(out, "+", comm=comm)
-        return [self._merge_mask(r, w) for r, w in enumerate(out)]
-
-    def _merge_mask(self, r: int, w: np.ndarray) -> np.ndarray:
-        # apply the (global) mask restricted to this rank's elements
-        m = self.mask.factor[self.rank_elems[r]]
-        return w * m
-
-    def _dot(self, a_parts, b_parts, comm: SimComm) -> float:
-        acc = 0.0
-        for r, (a, b) in enumerate(zip(a_parts, b_parts)):
-            acc += float(np.sum(a * b * self._inv_mult[r]))
-            comm.compute(r, 3.0 * a.size, mxm_fraction=0.0)
-        comm.allreduce(1)
-        return acc
+            for r in range(self.p)
+        ]
 
     # ------------------------------------------------------------------ solve
     def solve(
@@ -187,50 +276,59 @@ class DistributedSEMSolver:
         f_local: np.ndarray,
         tol: float = 1e-8,
         maxiter: int = 2000,
+        executor: str = "sim",
+        timeout: Optional[float] = 600.0,
     ) -> DistributedSolveResult:
-        """Solve with RHS ``B f`` assembled from a local field (serial layout)."""
-        with trace("spmd_cg"):
-            return self._solve(f_local, tol, maxiter)
+        """Solve with RHS ``B f`` assembled from a local field (serial layout).
 
-    def _solve(self, f_local, tol, maxiter) -> DistributedSolveResult:
-        comm = SimComm(self.machine, self.p)
+        ``executor`` selects the substrate: ``'sim'`` (default) runs the
+        rank program on the virtual clocks of the machine model; ``'mp'``
+        runs it on real worker processes and reports measured wall time
+        next to the alpha-beta prediction.
+        """
+        with trace("spmd_cg"):
+            return self._solve(f_local, tol, maxiter, executor, timeout)
+
+    def _solve(self, f_local, tol, maxiter, executor, timeout):
+        from .exec import run_spmd
+
         rhs = self.mask.apply(
             Assembler.for_mesh(self.mesh).dssum(self.op.mass.apply(f_local))
         )
         b = self._split(rhs)
+        ctxs = self.rank_contexts()
+        rank_args = [(ctxs[r], b[r], tol, maxiter) for r in range(self.p)]
 
-        x = [np.zeros_like(v) for v in b]
-        r = [v.copy() for v in b]
-        inv_dia = self._split(self._inv_dia)
-        z = [ri * d for ri, d in zip(r, inv_dia)]
-        p_dir = [zi.copy() for zi in z]
-        rz = self._dot(r, z, comm)
-        norm_r = np.sqrt(max(self._dot(r, r, comm), 0.0))
-        it = 0
-        converged = norm_r <= tol
-        while not converged and it < maxiter:
-            ap = self._matvec(p_dir, comm)
-            pap = self._dot(p_dir, ap, comm)
-            if pap <= 0:
-                raise np.linalg.LinAlgError("distributed PCG breakdown")
-            alpha = rz / pap
-            for rr in range(self.p):
-                x[rr] += alpha * p_dir[rr]
-                r[rr] -= alpha * ap[rr]
-                comm.compute(rr, 4.0 * x[rr].size, mxm_fraction=0.0)
-            norm_r = np.sqrt(max(self._dot(r, r, comm), 0.0))
-            it += 1
-            if norm_r <= tol:
-                converged = True
-                break
-            z = [ri * d for ri, d in zip(r, inv_dia)]
-            rz_new = self._dot(r, z, comm)
-            beta = rz_new / rz
-            rz = rz_new
-            for rr in range(self.p):
-                p_dir[rr] = z[rr] + beta * p_dir[rr]
-                comm.compute(rr, 2.0 * z[rr].size, mxm_fraction=0.0)
-        rep = comm.report()
+        sim = SimComm(self.machine, self.p) if executor == "sim" else None
+        run = run_spmd(
+            cg_rank_program,
+            rank_args,
+            ranks=self.p,
+            executor=executor,
+            machine=self.machine,
+            simcomm=sim,
+            timeout=timeout,
+        )
+        merged = run.merged
+        r0 = run.results[0]
+        it = int(r0["iterations"])
+        converged = bool(r0["converged"])
+        norm_r = float(r0["residual_norm"])
+
+        if executor == "sim":
+            rep = sim.report()
+            simulated = rep["elapsed"]
+            compute_max = rep["compute_max"]
+            comm_max = rep["comm_max"]
+            messages = int(rep["messages"])
+            words = float(rep.get("words", 0.0))
+        else:
+            simulated = run.modeled_seconds
+            compute_max = merged["compute_seconds_max"]
+            comm_max = merged["comm_seconds_max"]
+            messages = int(merged["messages"])
+            words = float(merged["words"])
+
         add_flops(0.0)  # keep the counter import warm for instrumented runs
         record_solve(
             "spmd_cg",
@@ -242,18 +340,22 @@ class DistributedSEMSolver:
         record_comm(
             "spmd_cg",
             f"p{self.p}",
-            int(rep["messages"]),
-            float(rep.get("words", 0.0)),
-            simulated_seconds=rep["elapsed"],
-            comm_seconds=rep["comm_max"],
+            messages,
+            words,
+            simulated_seconds=simulated,
+            comm_seconds=comm_max,
         )
         return DistributedSolveResult(
-            x=self._merge(x),
+            x=self._merge([r["x"] for r in run.results]),
             iterations=it,
             converged=converged,
-            residual_norm=float(norm_r),
-            simulated_seconds=rep["elapsed"],
-            compute_seconds=rep["compute_max"],
-            comm_seconds=rep["comm_max"],
-            messages=int(rep["messages"]),
+            residual_norm=norm_r,
+            simulated_seconds=simulated,
+            compute_seconds=compute_max,
+            comm_seconds=comm_max,
+            messages=messages,
+            executor=executor,
+            wall_seconds=run.wall_seconds,
+            history=list(r0["history"]),
+            phases=merged["phases"],
         )

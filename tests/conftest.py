@@ -2,12 +2,18 @@
 
 Every test gets a deterministic RNG seed derived from its node id, so a
 test's random stream never depends on which other tests ran before it (or
-on ``-k`` selection / ``-p no:randomly`` style reordering).  The fixture
-also guarantees the observability layer is switched off and empty between
-tests, so instrumentation state cannot leak across test boundaries.
+on ``-k`` selection / ``-p no:randomly`` style reordering).  The node id
+is also exported as ``REPRO_TEST_SEED`` so SPMD worker processes spawned
+by the 'mp' executor derive *their* per-rank seeds from the same root
+(``sha256(nodeid:rank)`` — see ``repro.parallel.exec.mp.derive_rank_seed``),
+making multi-process tests as reproducible as in-process ones.  The
+fixture also guarantees the observability layer is switched off and empty
+between tests, so instrumentation state cannot leak across test
+boundaries.
 """
 
 import hashlib
+import os
 import random
 
 import numpy as np
@@ -24,6 +30,12 @@ def _deterministic_test_state(request):
     )
     random.seed(seed)
     np.random.seed(seed)
+    prev = os.environ.get("REPRO_TEST_SEED")
+    os.environ["REPRO_TEST_SEED"] = request.node.nodeid
     yield
+    if prev is None:
+        os.environ.pop("REPRO_TEST_SEED", None)
+    else:
+        os.environ["REPRO_TEST_SEED"] = prev
     obs.disable()
     obs.reset_all()

@@ -80,3 +80,34 @@ class TestSimComm:
         # rank 1 waited a full second for rank 0 -> accounted as comm time.
         assert c.compute_time[0] == pytest.approx(1.0)
         assert c.comm_time[1] == pytest.approx(1.0 + M.alpha)
+
+    def test_fan_in_out_counts_traffic(self):
+        """fan_in_out must feed the message counters like every other op."""
+        c = SimComm(M, 8)
+        c.fan_in_out(10.0)
+        # binary tree over 8 ranks: 4 + 2 + 1 parent links, up and down.
+        assert c.message_count == 2 * (4 + 2 + 1)
+        assert c.message_words == pytest.approx(2.0 * (4 + 2 + 1) * 10.0)
+
+    def test_fan_in_out_per_level_sizes(self):
+        c = SimComm(M, 4)
+        c.fan_in_out([6.0, 2.0])
+        assert c.message_count == 2 * (2 + 1)
+        assert c.message_words == pytest.approx(2.0 * (2 * 6.0 + 1 * 2.0))
+
+    def test_fan_in_out_single_rank_free(self):
+        c = SimComm(M, 1)
+        c.fan_in_out(100.0)
+        assert c.message_count == 0
+        assert c.elapsed() == 0.0
+
+    def test_compute_all_matches_scalar_path(self):
+        """Vectorized compute_all must agree bitwise with per-rank compute."""
+        a = SimComm(M, 5)
+        b = SimComm(M, 5)
+        flops = [1e6, 3e7, 5e5, 0.0, 2.2e7]
+        a.compute_all(flops, mxm_fraction=0.6)
+        for r, f in enumerate(flops):
+            b.compute(r, f, mxm_fraction=0.6)
+        assert np.array_equal(a.clock, b.clock)
+        assert np.array_equal(a.compute_time, b.compute_time)
