@@ -1,0 +1,214 @@
+"""Condensed elliptic tier: flop-exponent sweep + Table 2 parity runs.
+
+Two measurements back the tier's headline claim (Huismann-style linear
+operation count on the statically condensed interface system):
+
+1. **Exponent sweep** — exact flops/element (via the dispatch layer's
+   analytic counters) of the condensed interface apply versus the
+   standard consistent-Poisson ``apply_e`` on ``box_mesh_2d(2, 2, N)``
+   for N in {4..16}.  Fitted log-log slopes must straddle d = 2: the
+   condensed apply grows like the N^d dofs per element, the standard
+   tensor apply carries the extra factor of N.
+
+2. **Table 2 sequence** — the K = 96 -> 384 -> 1536 cylinder refinement
+   at N = 7, run with the condensed E-preconditioner tier and with the
+   Schwarz/FDM baseline: iteration counts, setup/solve wall times, and
+   (at level 0) tight-tolerance solution parity between the two tiers.
+
+Results land in ``BENCH_condensed_solver.json`` at the repo root so the
+tier's cost trajectory is machine-readable PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro.core.mesh import box_mesh_2d
+from repro.core.pressure import PressureOperator
+from repro.perf.flops import counting
+from repro.solvers.cg import pcg
+from repro.solvers.condensed import CondensedEPreconditioner, CondensedPoissonSolver
+from repro.solvers.schwarz import SchwarzPreconditioner
+from repro.workloads.cylinder_model import Table2Case
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_condensed_solver.json"
+
+#: Polynomial orders for the per-element flop-exponent sweep (d = 2).
+SWEEP_NS = [4, 6, 8, 10, 12, 16]
+
+#: Cylinder refinement levels benchmarked (K = 96, 384, 1536 at N = 7).
+TABLE2_LEVELS = [0, 1, 2]
+
+
+def _fit_slope(ns, per_elem):
+    ln = np.log(np.asarray(ns, float))
+    return float(np.polyfit(ln, np.log(np.asarray(per_elem, float)), 1)[0])
+
+
+def _time_apply(apply_fn, *args, min_time=0.05, **kwargs):
+    reps, elapsed = 0, 0.0
+    t_end = time.perf_counter() + min_time
+    while time.perf_counter() < t_end or reps < 3:
+        t0 = time.perf_counter()
+        apply_fn(*args, **kwargs)
+        elapsed += time.perf_counter() - t0
+        reps += 1
+    return elapsed / reps
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Flops/element and wall time of condensed vs standard applies."""
+    rows = []
+    for n in SWEEP_NS:
+        mesh = box_mesh_2d(2, 2, n)
+        cs = CondensedPoissonSolver(mesh)
+        rng = np.random.default_rng(11)
+        v = cs.iface.dsavg(rng.standard_normal((mesh.K, cs.ec.n_b))) * cs._b_factor
+        cs.apply_condensed(v)  # warm up the kernel auto-tuner
+        with counting() as fc:
+            cs.apply_condensed(v)
+        condensed_flops = float(fc.total()) / mesh.K
+        t_cond = _time_apply(cs.apply_condensed, v)
+
+        pop = PressureOperator(mesh)
+        p = rng.standard_normal(pop.p_shape)
+        pop.apply_e(p)  # warm up
+        with counting() as fc:
+            pop.apply_e(p)
+        e_flops = float(fc.total()) / mesh.K
+        t_e = _time_apply(pop.apply_e, p)
+        rows.append(
+            {
+                "N": n,
+                "condensed_flops_per_element": condensed_flops,
+                "e_apply_flops_per_element": e_flops,
+                "condensed_apply_seconds": t_cond,
+                "e_apply_seconds": t_e,
+            }
+        )
+    return {
+        "mesh": "box_mesh_2d(2, 2, N)",
+        "rows": rows,
+        "condensed_slope": _fit_slope(
+            SWEEP_NS, [r["condensed_flops_per_element"] for r in rows]
+        ),
+        "e_apply_slope": _fit_slope(
+            SWEEP_NS, [r["e_apply_flops_per_element"] for r in rows]
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def table2():
+    """Iterations and wall times for condensed vs Schwarz/FDM on the
+    Table 2 cylinder sequence, plus level-0 solution parity."""
+    rows = []
+    parity = None
+    for level in TABLE2_LEVELS:
+        case = Table2Case(level, 7)
+        cond = case.run(variant="condensed")
+        fdm = case.run(variant="fdm", overlap=0)
+        rows.append(
+            {
+                "level": level,
+                "K": case.mesh.K,
+                "condensed_iterations": cond.iterations,
+                "fdm_iterations": fdm.iterations,
+                "condensed_setup_seconds": cond.setup_seconds,
+                "fdm_setup_seconds": fdm.setup_seconds,
+                "condensed_solve_seconds": cond.cpu_seconds,
+                "fdm_solve_seconds": fdm.cpu_seconds,
+                "condensed_converged": cond.converged,
+                "fdm_converged": fdm.converged,
+            }
+        )
+        if level == 0:
+            # Both tiers precondition the same SPD system: at a tight
+            # tolerance the solutions must coincide up to the nullspace.
+            sols = {}
+            for variant, precond in (
+                ("condensed", CondensedEPreconditioner(case.mesh, case.pop)),
+                ("fdm", SchwarzPreconditioner(case.mesh, case.pop, variant="fdm")),
+            ):
+                res = pcg(
+                    case.pop.matvec,
+                    case.rhs,
+                    dot=case.pop.dot,
+                    precond=precond,
+                    tol=1e-10 * float(np.linalg.norm(case.rhs.ravel())),
+                    maxiter=4000,
+                )
+                sols[variant] = res.x - np.sum(res.x) / res.x.size
+            diff = float(np.linalg.norm(sols["condensed"] - sols["fdm"]))
+            scale = float(np.linalg.norm(sols["fdm"]))
+            parity = {"rel_error": diff / scale, "tol": 1e-10}
+    return {"order": 7, "rows": rows, "level0_parity": parity}
+
+
+def test_generate_condensed_bench(benchmark, sweep, table2):
+    doc = {"exponent_sweep": sweep, "table2": table2}
+
+    rows = [
+        [
+            r["N"],
+            f"{r['condensed_flops_per_element']:.0f}",
+            f"{r['e_apply_flops_per_element']:.0f}",
+        ]
+        for r in sweep["rows"]
+    ]
+    rows.append(
+        ["slope", f"{sweep['condensed_slope']:.3f}", f"{sweep['e_apply_slope']:.3f}"]
+    )
+    text = fmt_table(
+        ["N", "condensed flops/elem", "E-apply flops/elem"],
+        rows,
+        title="Condensed interface apply vs standard E apply (2-D, K = 4)",
+    )
+    text += "\n" + fmt_table(
+        ["K", "condensed its", "fdm its", "condensed solve s", "fdm solve s"],
+        [
+            [
+                r["K"],
+                r["condensed_iterations"],
+                r["fdm_iterations"],
+                f"{r['condensed_solve_seconds']:.3f}",
+                f"{r['fdm_solve_seconds']:.3f}",
+            ]
+            for r in table2["rows"]
+        ],
+        title="Table 2 cylinder sequence, N = 7, eps = 1e-5",
+    )
+    write_result("condensed_solver", text)
+    JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # Time one representative condensed interface apply via pytest-benchmark.
+    mesh = box_mesh_2d(4, 4, 8)
+    cs = CondensedPoissonSolver(mesh)
+    v = cs.iface.dsavg(
+        np.random.default_rng(3).standard_normal((mesh.K, cs.ec.n_b))
+    ) * cs._b_factor
+    out = np.empty_like(v)
+    benchmark(cs.apply_condensed, v, out=out)
+
+    # Qualitative contract: the exponent gap is the whole point of the
+    # tier.  Bounds are loose so machine noise cannot flake the suite.
+    assert sweep["condensed_slope"] <= 2.3, sweep
+    assert sweep["e_apply_slope"] >= 2.8, sweep
+    for r in table2["rows"]:
+        assert r["condensed_converged"] and r["fdm_converged"], r
+    assert table2["level0_parity"]["rel_error"] < 1e-7, table2["level0_parity"]
+
+
+def test_json_is_machine_readable(sweep, table2):
+    doc = {"exponent_sweep": sweep, "table2": table2}
+    JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    loaded = json.loads(JSON_PATH.read_text())
+    assert [r["N"] for r in loaded["exponent_sweep"]["rows"]] == SWEEP_NS
+    assert [r["K"] for r in loaded["table2"]["rows"]] == [96, 384, 1536]

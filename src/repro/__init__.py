@@ -10,6 +10,8 @@ full algorithmic stack:
 * Fischer-Mullen filter stabilization,
 * Jacobi-PCG Helmholtz solves and Schwarz-preconditioned pressure solves
   (FDM tensor local solves + vertex-mesh coarse grid),
+* a statically condensed elliptic tier (Schur elimination of element
+  interiors; linear-operation-count interface applies in 2-D),
 * successive-RHS projection, the XXT coarse-grid solver,
 * a simulated message-passing substrate (gather-scatter, RSB partitioning,
   alpha-beta-gamma machine models) reproducing the paper's scaling studies,
@@ -55,6 +57,11 @@ from .ns.navier_stokes import NavierStokesSolver, StepStats
 from .ns.scalar import BoussinesqCoupling, ScalarTransport
 from .ns.stokes import StokesResult, StokesSolver
 from .solvers.cg import CGResult, pcg
+from .solvers.condensed import (
+    CondensedEPreconditioner,
+    CondensedPoissonSolver,
+    CondensedResult,
+)
 from .solvers.jacobi import JacobiPreconditioner, jacobi_preconditioner
 from .solvers.pmultigrid import PMultigrid, build_p_hierarchy
 from .solvers.projection import SolutionProjector
@@ -67,6 +74,9 @@ __all__ = [
     "Assembler",
     "BoussinesqCoupling",
     "CGResult",
+    "CondensedEPreconditioner",
+    "CondensedPoissonSolver",
+    "CondensedResult",
     "DirichletMask",
     "FieldEvaluator",
     "FlowDiagnostics",

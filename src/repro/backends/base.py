@@ -137,5 +137,23 @@ class KernelBackend(abc.ABC):
             out += tmp
         return out
 
+    def batched_matvec(
+        self,
+        mats: np.ndarray,
+        vecs: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-element small-DGEMV batch: ``out[k] = mats[k] @ vecs[k]``.
+
+        ``mats`` is ``(K, m, n)``, ``vecs`` is ``(K, n)``; unlike
+        :meth:`apply_1d` the operator differs per batch entry — the shape of
+        the condensed (Schur-complement) interface applies, where each
+        element carries its own dense block.  Default: batched ``np.matmul``.
+        """
+        if out is None:
+            out = np.empty(mats.shape[:2])
+        np.matmul(mats, vecs[:, :, None], out=out.reshape(out.shape + (1,)))
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -51,7 +51,12 @@ __all__ = [
     "apply_1d",
     "grad",
     "grad_transpose",
+    "batched_matvec",
 ]
+
+#: sentinel "direction" used in dispatch keys for batched matvec calls,
+#: where no tensor direction applies (the operator varies per element).
+BATCHED_MATVEC_DIR = -1
 
 #: name -> backend instance (fixed kernels; the dispatcher sits above them).
 _REGISTRY: Dict[str, KernelBackend] = {}
@@ -136,6 +141,38 @@ class AutoTuneDispatcher(KernelBackend):
                 for _ in range(self.reps):
                     t0 = time.perf_counter()
                     backend.apply_1d(op, u, direction, out=scratch)
+                    t_min = min(t_min, time.perf_counter() - t0)
+            except Exception:  # pragma: no cover - defensive
+                continue
+            timings[name] = t_min
+            if t_min < best_t:
+                best_name, best_t = name, t_min
+        if best_name is None:  # pragma: no cover - registry never empty
+            raise RuntimeError("no kernel backend could handle the call")
+        self.choices[key] = best_name
+        self.timings[key] = timings
+        return best_name
+
+    def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
+        key = (mats.shape, vecs.shape, BATCHED_MATVEC_DIR)
+        name = self.choices.get(key)
+        if name is None:
+            name = self._tune_bmv(key, mats, vecs)
+        self.hits[key] = self.hits.get(key, 0) + 1
+        return _REGISTRY[name].batched_matvec(mats, vecs, out=out)
+
+    def _tune_bmv(self, key, mats, vecs) -> str:
+        """Per-shape micro-benchmark of the batched-matvec kernels."""
+        scratch = self.workspace.get("tune_bmv_out", mats.shape[:2])
+        best_name, best_t = None, np.inf
+        timings: Dict[str, float] = {}
+        for name, backend in _REGISTRY.items():
+            try:
+                backend.batched_matvec(mats, vecs, out=scratch)  # warmup
+                t_min = np.inf
+                for _ in range(self.reps):
+                    t0 = time.perf_counter()
+                    backend.batched_matvec(mats, vecs, out=scratch)
                     t_min = min(t_min, time.perf_counter() - t0)
             except Exception:  # pragma: no cover - defensive
                 continue
@@ -299,6 +336,43 @@ def apply_1d(
             )
     add_flops(2.0 * m * n * (u.size // n), "mxm")
     return _ACTIVE.apply_1d(op, u, direction, out=out)
+
+
+def batched_matvec(
+    mats: np.ndarray,
+    vecs: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Validated, flop-counted per-element matvec ``out[k] = mats[k] @ vecs[k]``.
+
+    The condensed-solver building block: each element carries its *own*
+    dense ``(m, n)`` block (Schur complements, coupling blocks), so the
+    batch cannot collapse onto a shared-operator ``apply_1d``.  Tuning keys
+    on ``(mats shape, vecs shape, -1)`` — the dispatcher arbitrates the same
+    kernel family (matmul / einsum / broadcast-reduce) per shape.
+    """
+    mats = _sanitize(mats)
+    vecs = _sanitize(vecs)
+    if mats.ndim != 3:
+        raise ValueError(f"mats must be (K, m, n), got shape {mats.shape}")
+    K, m, n = mats.shape
+    if vecs.shape != (K, n):
+        raise ValueError(
+            f"vecs must have shape {(K, n)} to match mats {mats.shape}, "
+            f"got {vecs.shape}"
+        )
+    if out is not None:
+        if out.shape != (K, m):
+            raise ValueError(f"out has shape {out.shape}, kernel produces {(K, m)}")
+        if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous float64 array")
+        if np.may_share_memory(out, vecs) or np.may_share_memory(out, mats):
+            raise ValueError(
+                "out must not alias the inputs (kernels are not in-place "
+                "safe); pass a distinct workspace buffer"
+            )
+    add_flops(2.0 * K * m * n, "mxm")
+    return _ACTIVE.batched_matvec(mats, vecs, out=out)
 
 
 def grad(d, u, outs=None):

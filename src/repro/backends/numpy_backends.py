@@ -89,6 +89,12 @@ class EinsumBackend(KernelBackend):
         np.einsum(sub, op, u, out=out)
         return out
 
+    def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
+        if out is None:
+            return np.einsum("kij,kj->ki", mats, vecs)
+        np.einsum("kij,kj->ki", mats, vecs, out=out)
+        return out
+
 
 class FlattenedBackend(KernelBackend):
     """Reshape-to-a-single-DGEMM strategy.
@@ -134,4 +140,17 @@ class FlattenedBackend(KernelBackend):
         np.copyto(
             out.reshape(B, m, nr), dst.reshape(B, nr, m).transpose(0, 2, 1)
         )
+        return out
+
+    def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
+        # BLAS-free schedule: broadcast-multiply the (K, m, n) stack against
+        # (K, 1, n) and reduce the fast axis — one pass, no per-element
+        # dgemv dispatch.  Wins on the many-tiny-block shapes where BLAS
+        # call overhead dominates; loses once blocks get large.
+        K, m, n = mats.shape
+        if out is None:
+            out = np.empty((K, m))
+        prod = self.workspace.get("bmv_prod", (K, m, n))
+        np.multiply(mats, vecs[:, None, :], out=prod)
+        np.sum(prod, axis=2, out=out)
         return out

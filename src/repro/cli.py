@@ -313,12 +313,15 @@ def _cmd_table2(args) -> int:
     from repro.workloads.cylinder_model import Table2Case
 
     case = Table2Case(level=args.level, order=7)
-    print(f"Table 2: Schwarz variants, K = {case.mesh.K}, N = 7, eps = 1e-5")
+    print(f"Table 2: E-system variants, K = {case.mesh.K}, N = 7, eps = 1e-5")
     configs = [("FDM", dict(variant="fdm")),
                ("FEM No=0", dict(variant="fem", overlap=0)),
                ("FEM No=1", dict(variant="fem", overlap=1)),
                ("FEM No=3", dict(variant="fem", overlap=3)),
+               ("Condensed", dict(variant="condensed")),
                ("A0=0", dict(variant="fdm", use_coarse=False))]
+    if args.variant is not None:
+        configs = [(t, kw) for t, kw in configs if kw["variant"] == args.variant]
     print(f"{'variant':>10} {'iters':>6} {'cpu (s)':>8}")
     for tag, kw in configs:
         r = case.run(**kw)
@@ -348,8 +351,12 @@ def main(argv=None) -> int:
     p6 = sub.add_parser("fig6", help="coarse-grid solver comparison")
     p6.add_argument("--size", type=int, default=31,
                     help="grid side (paper: 63 and 127)")
-    p2 = sub.add_parser("table2", help="Schwarz variants on the cylinder mesh")
+    p2 = sub.add_parser("table2", help="E-system preconditioner variants on "
+                                       "the cylinder mesh")
     p2.add_argument("--level", type=int, default=0, choices=[0, 1, 2])
+    p2.add_argument("--variant", default=None,
+                    choices=["fdm", "fem", "condensed"],
+                    help="run only the rows of one local-solve family")
     pb = sub.add_parser("backends", help="kernel backend / auto-tuner report")
     pb.add_argument("--exercise", action="store_true",
                     help="run a few operator applies first so the tuner "

@@ -34,6 +34,7 @@ from ..obs.telemetry import record_projection
 from ..obs.trace import trace
 from ..perf.flops import add_flops
 from ..solvers.cg import pcg
+from ..solvers.condensed import CondensedEPreconditioner
 from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.projection import SolutionProjector
 from ..solvers.schwarz import SchwarzPreconditioner
@@ -94,8 +95,9 @@ class NavierStokesSolver:
     projection_window:
         L for the successive-RHS pressure projection (0 disables; Fig. 4).
     pressure_variant:
-        Schwarz local-solve family, ``"fdm"`` or ``"fem"``; ``"jacobi"``
-        falls back to diagonal preconditioning of E (testing only).
+        Pressure local-solve tier: Schwarz ``"fdm"``/``"fem"``, the
+        zero-overlap ``"condensed"`` (static condensation) tier, or
+        ``"jacobi"`` (diagonal preconditioning of E, testing only).
     forcing:
         Optional body force ``f(x, y[, z], t) -> components``.
     oifs_cfl_target:
@@ -177,6 +179,12 @@ class NavierStokesSolver:
         if pressure_variant == "jacobi":
             diag = self._pressure_diagonal_estimate()
             self.pressure_precond = JacobiPreconditioner(diag)
+        elif pressure_variant == "condensed":
+            self.pressure_precond = CondensedEPreconditioner(
+                mesh,
+                self.pop,
+                dirichlet_vertices=coarse_dirichlet_vertices,
+            )
         else:
             self.pressure_precond = SchwarzPreconditioner(
                 mesh,

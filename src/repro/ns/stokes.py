@@ -29,6 +29,7 @@ from ..core.operators import HelmholtzOperator, MassOperator
 from ..core.pressure import PressureOperator
 from ..obs.trace import trace
 from ..solvers.cg import pcg
+from ..solvers.condensed import CondensedEPreconditioner
 from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.schwarz import SchwarzPreconditioner
 from .bcs import VelocityBC
@@ -58,7 +59,8 @@ class StokesSolver:
     bc:
         Velocity Dirichlet conditions (default no-slip everywhere).
     pressure_variant:
-        Schwarz family for the Schur-complement preconditioner.
+        Pressure-preconditioner tier: Schwarz ``"fdm"``/``"fem"`` or the
+        zero-overlap ``"condensed"`` (static condensation) local solves.
     velocity_tol, pressure_tol:
         Relative tolerances of the nested and outer iterations.  The inner
         solves must be substantially tighter than the outer ones (inexact
@@ -91,7 +93,12 @@ class StokesSolver:
         self.pop = PressureOperator(
             mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom
         )
-        self.precond = SchwarzPreconditioner(mesh, self.pop, variant=pressure_variant)
+        if pressure_variant == "condensed":
+            self.precond = CondensedEPreconditioner(mesh, self.pop)
+        else:
+            self.precond = SchwarzPreconditioner(
+                mesh, self.pop, variant=pressure_variant
+            )
         self.velocity_tol = float(velocity_tol)
         self.pressure_tol = float(pressure_tol)
         self.maxiter = int(maxiter)

@@ -1,6 +1,7 @@
 """Linear solvers (paper Section 5).
 
 PCG, Jacobi, additive overlapping Schwarz (FDM/FEM local solves), the
-vertex-mesh coarse grid, successive-RHS projection, and the XXT sparse
-coarse-grid factorization.
+statically condensed elliptic tier (boundary/interior Schur elimination),
+the vertex-mesh coarse grid, successive-RHS projection, and the XXT
+sparse coarse-grid factorization.
 """

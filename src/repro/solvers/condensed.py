@@ -1,0 +1,415 @@
+"""Statically condensed elliptic solver tier (Huismann et al.; Section 5).
+
+Two consumers of :mod:`repro.solvers.static_condensation`:
+
+* :class:`CondensedPoissonSolver` — a standalone Helmholtz/Poisson solver
+  on the velocity (GLL) grid.  Interior dofs are eliminated exactly, PCG
+  iterates only on the assembled element-shell dofs, and each iteration's
+  per-element work is one dense Schur apply of ``O(N^d)`` operations in
+  2-D — *linear* in the number of dofs, versus the ``O(N^{d+1})`` of the
+  standard tensor-product apply.  The interior factorization is shared
+  across elements on rectilinear meshes (one generalized eigenpair for
+  all ``K`` interiors) and falls back to batched dense Cholesky on
+  deformed geometry.
+
+* :class:`CondensedEPreconditioner` — a third local-solve tier for the
+  pressure ``E``-system PCG, next to the overlapping-Schwarz ``fdm`` and
+  ``fem`` variants.  Each element's *zero-overlap* pressure block gets
+  the same separable consistent-Poisson surrogate the Schwarz tier uses,
+  but solved by static condensation: interior via shared-per-element
+  fast diagonalization, shell via a dense pseudo-inverted Schur
+  complement.  Combined with the usual coarse-grid term this is the
+  non-overlapping end of the Section 5 design space (``N_o = 0`` with an
+  exact-surrogate local solve instead of a low-order FEM one).
+
+Both run their per-element small-DGEMV batches through
+:func:`repro.backends.dispatch.batched_matvec`, so the condensed applies
+get per-shape kernel selection and exact flop accounting like every
+other hot-path contraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..backends import dispatch as _dispatch
+from ..backends.base import Workspace
+from ..core.assembly import Assembler, DirichletMask
+from ..core.element import GeomFactors, geometric_factors
+from ..core.mesh import Mesh
+from ..core.operators import HelmholtzOperator
+from ..core.pressure import PressureOperator
+from ..obs.trace import trace
+from ..perf.flops import add_flops
+from .cg import CGResult, pcg
+from .coarse import CoarseOperator
+from .fdm import generalized_fdm_pair
+from .schwarz import element_lengths, element_line_operators
+from .static_condensation import (
+    DenseInteriorSolver,
+    ElementCondensation,
+    TensorInteriorSolver,
+    dense_element_matrices,
+    rectilinear_extents,
+    shell_split,
+)
+
+__all__ = ["CondensedPoissonSolver", "CondensedEPreconditioner", "CondensedResult"]
+
+
+@dataclass
+class CondensedResult:
+    """Outcome of a condensed solve: full-grid solution + interface CG stats."""
+
+    u: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    initial_residual_norm: float
+
+    @classmethod
+    def from_cg(cls, u: np.ndarray, res: CGResult) -> "CondensedResult":
+        return cls(
+            u, res.iterations, res.converged, res.residual_norm,
+            res.initial_residual_norm,
+        )
+
+
+class CondensedPoissonSolver:
+    """Schur-complement (statically condensed) Helmholtz solver.
+
+    Solves ``(h1 A + h0 B) u = f`` on the velocity grid with homogeneous
+    Dirichlet conditions on ``dirichlet_sides`` (``None`` = every physical
+    boundary side, matching :func:`repro.core.operators.build_poisson_system`).
+    The element matrices are probed matrix-free from the tensor-product
+    operator once at setup; after that
+
+    * ``condense_rhs`` and ``back_substitute`` each cost one interior solve
+      (shared-eigenbasis tensor transforms on rectilinear meshes), and
+    * every PCG iteration applies only the per-element dense Schur
+      complements to the assembled shell unknowns — ``2 K n_b^2`` flops,
+      ``n_b = 4N`` in 2-D.
+
+    Parameters
+    ----------
+    mesh:
+        Velocity mesh (2-D or 3-D; every direction needs ``order >= 2`` so
+        elements have interior dofs).
+    h1, h0:
+        Scalar Helmholtz coefficients (``h0 = 0`` gives Poisson).
+    dirichlet_sides:
+        Boundary side names to constrain; ``None`` constrains all physical
+        boundary sides.  A fully unconstrained pure-Neumann Poisson problem
+        is singular and rejected.
+    geom:
+        Precomputed geometric factors (optional).
+    interior:
+        ``"auto"`` (tensor fast-diagonalization when the mesh is
+        rectilinear, dense Cholesky otherwise), ``"tensor"`` or ``"dense"``.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        h1: float = 1.0,
+        h0: float = 0.0,
+        dirichlet_sides: Optional[list] = None,
+        geom: Optional[GeomFactors] = None,
+        interior: str = "auto",
+    ):
+        if mesh.order < 2:
+            raise ValueError("static condensation needs order >= 2 (interior dofs)")
+        if interior not in ("auto", "tensor", "dense"):
+            raise ValueError(f"unknown interior mode {interior!r}")
+        self.mesh = mesh
+        geom = geom if geom is not None else geometric_factors(mesh)
+        self.op = HelmholtzOperator(mesh, h1, h0, geom)
+        self.mask = (
+            DirichletMask(mesh.boundary_mask(dirichlet_sides))
+            if (dirichlet_sides is None and mesh.boundary) or dirichlet_sides
+            else DirichletMask.none(mesh.local_shape)
+        )
+        if self.mask.n_constrained == 0 and not h0:
+            raise ValueError(
+                "pure-Neumann Poisson problem is singular; constrain a side "
+                "or add a mass term (h0 > 0)"
+            )
+
+        K = mesh.K
+        block = mesh.local_shape[1:]
+        with trace("condensed_setup"):
+            mats = dense_element_matrices(self.op.apply, K, block)
+            hs = rectilinear_extents(mesh)
+            scalar = np.isscalar(h1) and np.isscalar(h0)
+            use_tensor = (
+                interior == "tensor"
+                or (interior == "auto" and hs is not None and scalar)
+            )
+            if use_tensor:
+                if hs is None or not scalar:
+                    raise ValueError(
+                        "tensor interior solves need a rectilinear mesh and "
+                        "scalar coefficients"
+                    )
+                isolve = TensorInteriorSolver(hs, mesh.order, h1=float(h1), h0=float(h0))
+            else:
+                _, i_idx = shell_split(block)
+                isolve = DenseInteriorSolver(mats[:, i_idx[:, None], i_idx[None, :]])
+            self.ec = ElementCondensation(mats, block, interior_solver=isolve)
+        self.interior_kind = "tensor" if use_tensor else "dense"
+
+        # Assembled interface: compressed global numbering of the shell dofs
+        # plus the free/constrained factor restricted to the shell.
+        gids_b = mesh.global_ids.reshape(K, -1)[:, self.ec.b_idx]
+        self.iface = Assembler(
+            np.unique(gids_b, return_inverse=True)[1].reshape(gids_b.shape)
+        )
+        self._b_factor = (
+            ~self.mask.constrained.reshape(K, -1)[:, self.ec.b_idx]
+        ).astype(float)
+
+        # Jacobi preconditioner from the assembled Schur diagonal.
+        dia = self.iface.dssum(
+            np.ascontiguousarray(np.einsum("kii->ki", self.ec.schur))
+        )
+        dia = dia * self._b_factor + (1.0 - self._b_factor)
+        if np.any(dia <= 0):
+            raise ValueError("condensed interface diagonal is not positive")
+        self._inv_dia = 1.0 / dia
+        self._ws = Workspace()
+
+    @property
+    def n_interface(self) -> int:
+        """Unique assembled interface (shell) dofs."""
+        return self.iface.n_global
+
+    def apply_condensed(self, u_b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Assembled condensed operator on interface data ``(K, n_b)``.
+
+        ``mask . dssum . blockdiag(S^k)`` — the matvec PCG iterates with.
+        One dispatched batched DGEMV: ``2 K n_b^2`` flops, ``O(N^d)`` per
+        element in 2-D.
+        """
+        su = self.ec.apply_schur(u_b, out=self._ws.get("schur_u", u_b.shape))
+        w = self.iface.dssum(su, out=out)
+        w *= self._b_factor
+        return w
+
+    def _precondition(self, r: np.ndarray) -> np.ndarray:
+        add_flops(r.size, "pointwise")
+        return r * self._inv_dia
+
+    def solve(
+        self,
+        f_local: np.ndarray,
+        tol: float = 1e-10,
+        rtol: float = 0.0,
+        maxiter: int = 2000,
+        label: Optional[str] = "condensed_interface",
+    ) -> CondensedResult:
+        """Solve for the full-grid field given a *local* (unassembled) load.
+
+        ``f_local`` is the locally evaluated weighted forcing (e.g. ``B f``),
+        exactly what :meth:`repro.core.operators.SEMSystem.rhs` consumes.
+        Interior rows are eliminated exactly; only the assembled shell system
+        ``dssum(S u_b) = dssum(f_b - A_BI A_II^{-1} f_I)`` is iterated.
+        """
+        ec = self.ec
+        with trace("condensed_solve"):
+            with trace("condense_rhs"):
+                g_b, _ = ec.condense_rhs(
+                    np.ascontiguousarray(ec.boundary_of(f_local)),
+                    np.ascontiguousarray(ec.interior_of(f_local)),
+                )
+                g = self.iface.dssum(g_b)
+                g *= self._b_factor
+            with trace("interface_cg"):
+                res = pcg(
+                    self.apply_condensed,
+                    g,
+                    dot=self.iface.dot,
+                    precond=self._precondition,
+                    tol=tol,
+                    rtol=rtol,
+                    maxiter=maxiter,
+                    label=label,
+                )
+            with trace("back_substitute"):
+                u_i = ec.back_substitute(
+                    res.x, np.ascontiguousarray(ec.interior_of(f_local))
+                )
+                u = ec.merge(res.x, u_i).reshape(self.mesh.local_shape)
+        return CondensedResult.from_cg(u, res)
+
+
+class CondensedEPreconditioner:
+    """Zero-overlap condensed local solves for the pressure ``E`` system.
+
+    For each element's ``m^d`` pressure block (``m = N - 1`` Gauss points
+    per direction) the local operator is the separable consistent-Poisson
+    surrogate of the Schwarz ``fdm`` tier restricted to the element's own
+    block (no gridpoint extension):
+
+        A~_k = X_y (x) E_x + E_y (x) X_x      (+ the 3-term form in 3-D)
+
+    but instead of one ``m^d`` eigen-solve, the block is statically
+    condensed: interior dofs by per-direction generalized fast
+    diagonalization (the kron-submatrix identity keeps ``A~_II``
+    separable), shell dofs by a dense pseudo-inverted Schur complement.
+    The composite per-element map
+
+        M_k = V S_k^+ V^T + blkdiag(0, A_II^+),   V = [I, -(A_II^+ A_IB)^T]^T
+
+    is symmetric positive semi-definite by construction, so the global sum
+    (plus the optional coarse term, plus nullspace projection) is a valid
+    PCG preconditioner.  Traced as ``condensed`` with children ``local``
+    and ``coarse``.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        pop: PressureOperator,
+        use_coarse: bool = True,
+        dirichlet_vertices: Optional[np.ndarray] = None,
+    ):
+        if pop.m < 3:
+            raise ValueError(
+                "condensed pressure blocks need N >= 4 (m >= 3 Gauss points "
+                "per direction, so element interiors are nonempty)"
+            )
+        self.mesh = mesh
+        self.pop = pop
+        self.coarse = (
+            CoarseOperator(mesh, pop, dirichlet_vertices) if use_coarse else None
+        )
+        nd = mesh.ndim
+        m = pop.m
+        K = mesh.K
+        b_idx, i_idx = shell_split((m,) * nd)
+        self.b_idx, self.i_idx = b_idx, i_idx
+        n_b, n_i = b_idx.size, i_idx.size
+        mi = m - 2
+
+        lengths = element_lengths(mesh)
+        s_fwd = [np.empty((K, mi, mi)) for _ in range(nd)]  # per-direction S
+        s_bwd = [np.empty((K, mi, mi)) for _ in range(nd)]  # per-direction S^T
+        inv_den = np.empty((K,) + (mi,) * nd)
+        self.s_pinv = np.empty((K, n_b, n_b))
+        self.a_bi = np.empty((K, n_b, n_i))
+        self.a_ib = np.empty((K, n_i, n_b))
+        for k in range(K):
+            blocks = []  # per direction: (e_sub, x_sub) on the element block
+            lam_dir = []
+            for a in range(nd):
+                e_line, x_line, mid = element_line_operators(
+                    mesh, pop, lengths, k, a
+                )
+                ids = np.arange(mid * m, (mid + 1) * m)
+                e_sub = e_line[np.ix_(ids, ids)]
+                x_sub = x_line[np.ix_(ids, ids)]
+                blocks.append((e_sub, x_sub))
+                # Interior fast diagonalization: the kron-submatrix identity
+                # (X (x) E)_II = X_ii (x) E_ii keeps the interior separable.
+                s, lam = generalized_fdm_pair(
+                    e_sub[1:-1, 1:-1], x_sub[1:-1, 1:-1]
+                )
+                s_fwd[a][k] = s
+                s_bwd[a][k] = s.T
+                lam_dir.append(np.maximum(lam, 0.0))
+            # Dense surrogate A~_k = sum_a kron(..., E_a at slot a, ...).
+            a_full = np.zeros((m**nd, m**nd))
+            for a in range(nd):
+                term = np.ones((1, 1))
+                # kron runs slow -> fast, i.e. direction nd-1 down to 0.
+                for b in range(nd - 1, -1, -1):
+                    term = np.kron(term, blocks[b][0] if b == a else blocks[b][1])
+                a_full += term
+            a_bb = a_full[np.ix_(b_idx, b_idx)]
+            self.a_bi[k] = a_full[np.ix_(b_idx, i_idx)]
+            self.a_ib[k] = a_full[np.ix_(i_idx, b_idx)]
+            # Separable pseudo-inverted interior denominator.
+            if nd == 2:
+                den = lam_dir[1][:, None] + lam_dir[0][None, :]
+            else:
+                den = (
+                    lam_dir[2][:, None, None]
+                    + lam_dir[1][None, :, None]
+                    + lam_dir[0][None, None, :]
+                )
+            tol = 1e-10 * max(float(den.max()), 1.0)
+            inv_den[k] = np.where(den > tol, 1.0 / np.where(den > tol, den, 1.0), 0.0)
+            # Schur complement through the same interior pseudo-inverse,
+            # then pseudo-inverted itself (floating-boundary elements carry
+            # a local constant nullspace, exactly like the Schwarz blocks).
+            big_s = s_fwd[0][k]
+            for a in range(1, nd):
+                big_s = np.kron(s_fwd[a][k], big_s)
+            a_ii_pinv = (big_s * inv_den[k].ravel()[None, :]) @ big_s.T
+            schur = a_bb - self.a_bi[k] @ a_ii_pinv @ self.a_ib[k]
+            schur = 0.5 * (schur + schur.T)
+            w, v = np.linalg.eigh(schur)
+            cut = 1e-10 * max(float(w.max()), 1.0)
+            w_inv = np.where(w > cut, 1.0 / np.where(w > cut, w, 1.0), 0.0)
+            self.s_pinv[k] = (v * w_inv[None, :]) @ v.T
+        self.s_fwd = s_fwd
+        self.s_bwd = s_bwd
+        self.inv_den = inv_den
+        self.mi, self.m, self.ndim = mi, m, nd
+        self.n_b, self.n_i = n_b, n_i
+
+    # ------------------------------------------------------------- interior
+    def _interior_solve(self, f: np.ndarray) -> np.ndarray:
+        """``A_II^+ f`` on flat interior data ``(K, n_i)`` — batched
+        per-element fast diagonalization (transforms differ per element, so
+        this is a batched small GEMM, not a shared-operator dispatch)."""
+        K, nd, mi = f.shape[0], self.ndim, self.mi
+        u = f.reshape((K,) + (mi,) * nd)
+        if nd == 2:
+            u = np.matmul(self.s_bwd[1], u) @ self.s_fwd[0]
+            u = u * self.inv_den
+            u = np.matmul(self.s_fwd[1], u) @ self.s_bwd[0]
+        else:
+            u = np.matmul(self.s_bwd[2], u.reshape(K, mi, -1)).reshape(u.shape)
+            u = np.matmul(self.s_bwd[1][:, None], u)
+            u = np.matmul(u, self.s_fwd[0][:, None])
+            u = u * self.inv_den
+            u = np.matmul(self.s_fwd[2], u.reshape(K, mi, -1)).reshape(u.shape)
+            u = np.matmul(self.s_fwd[1][:, None], u)
+            u = np.matmul(u, self.s_bwd[0][:, None])
+        add_flops(4.0 * f.size * mi * nd + f.size, "mxm")
+        return u.reshape(K, -1)
+
+    # ---------------------------------------------------------------- apply
+    def local_solves(self, r: np.ndarray) -> np.ndarray:
+        """``sum_k R_k^T M_k R_k r`` — condensed per-element block solves."""
+        K = self.mesh.K
+        flat = r.reshape(K, -1)
+        r_b = np.ascontiguousarray(flat[:, self.b_idx])
+        r_i = np.ascontiguousarray(flat[:, self.i_idx])
+        w_i = self._interior_solve(r_i)
+        g_b = r_b - _dispatch.batched_matvec(self.a_bi, w_i)
+        u_b = _dispatch.batched_matvec(self.s_pinv, g_b)
+        u_i = self._interior_solve(
+            r_i - _dispatch.batched_matvec(self.a_ib, u_b)
+        )
+        add_flops(2.0 * r_b.size + r_i.size, "pointwise")
+        out = np.empty_like(flat)
+        out[:, self.b_idx] = u_b
+        out[:, self.i_idx] = u_i
+        return out.reshape(r.shape)
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1} r``; traced as ``condensed`` / ``local`` + ``coarse``."""
+        with trace("condensed"):
+            with trace("local"):
+                out = self.local_solves(r)
+            if self.coarse is not None:
+                with trace("coarse"):
+                    out = out + self.coarse.apply(r)
+            if self.pop.has_nullspace:
+                out = out - float(np.sum(out) / out.size)
+            return out

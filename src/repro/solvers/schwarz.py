@@ -50,7 +50,112 @@ from ..perf.flops import add_flops
 from .coarse import CoarseOperator, element_corner_coords
 from .fdm import generalized_fdm_pair, line_consistent_poisson
 
-__all__ = ["PressureLattice", "SchwarzPreconditioner", "HybridSchwarzPreconditioner"]
+__all__ = [
+    "PressureLattice",
+    "SchwarzPreconditioner",
+    "HybridSchwarzPreconditioner",
+    "element_lengths",
+    "element_line_operators",
+]
+
+
+def element_lengths(mesh: Mesh) -> np.ndarray:
+    """Mean element extent per direction, shape (K, ndim) (r, s[, t]).
+
+    Averages the Euclidean lengths of the element edges along each reference
+    direction — the rectilinear surrogate dimensions used by the Schwarz and
+    condensed local solves.
+    """
+    corners = element_corner_coords(mesh)  # (K, 2^nd, nd), r-bit fastest
+    nd = mesh.ndim
+    out = np.zeros((mesh.K, nd))
+    nv = 2**nd
+    for a in range(nd):
+        pairs = [(v, v | (1 << a)) for v in range(nv) if not (v >> a) & 1]
+        acc = np.zeros(mesh.K)
+        for lo, hi in pairs:
+            acc += np.linalg.norm(corners[:, hi] - corners[:, lo], axis=1)
+        out[:, a] = acc / len(pairs)
+    return out
+
+
+def element_line_operators(
+    mesh: Mesh,
+    pop: PressureOperator,
+    lengths: np.ndarray,
+    k: int,
+    a: int,
+):
+    """1-D consistent-Poisson patch blocks for element ``k``, direction ``a``.
+
+    Builds the rectilinear surrogate patch (element plus available
+    neighbors) along direction ``a``, detects Dirichlet line ends from the
+    velocity mask, and returns ``(e_line, x_line, mid)`` where ``mid`` is
+    the element's block position within the patch (0 when there is no low
+    neighbor).  Shared by :class:`SchwarzPreconditioner` (overlapping
+    subdomains) and the condensed tier (zero-overlap element blocks).
+    """
+    elat = mesh.element_lattice
+    lat_xyz = _element_lattice_xyz(mesh)
+    e = int(lat_xyz[k, a])
+    ne = elat[a]
+    per = mesh.periodic[a]
+    lo_nb = (e - 1) % ne if (per or e - 1 >= 0) else None
+    hi_nb = (e + 1) % ne if (per or e + 1 <= ne - 1) else None
+    if ne == 1:
+        lo_nb = hi_nb = None
+    patch = []
+    if lo_nb is not None:
+        patch.append(_slab_length(lengths, lo_nb, a, elat))
+    mid = len(patch)
+    patch.append(lengths[k, a])
+    if hi_nb is not None:
+        patch.append(_slab_length(lengths, hi_nb, a, elat))
+    dir_lo = lo_nb is None and not per and _face_constrained(mesh, pop, k, a, 0)
+    dir_hi = hi_nb is None and not per and _face_constrained(mesh, pop, k, a, 1)
+    e_line, x_line = line_consistent_poisson(patch, mesh.order, dir_lo, dir_hi)
+    return e_line, x_line, mid
+
+
+def _element_lattice_xyz(mesh: Mesh) -> np.ndarray:
+    """Per-element lattice coordinates (x-, y-[, z-]index), shape (K, nd)."""
+    lat = mesh.element_lattice
+    eidx = np.arange(mesh.K)
+    if mesh.ndim == 2:
+        exyz = [eidx % lat[0], eidx // lat[0]]
+    else:
+        exyz = [
+            eidx % lat[0],
+            (eidx // lat[0]) % lat[1],
+            eidx // (lat[0] * lat[1]),
+        ]
+    return np.stack(exyz, axis=1)
+
+
+def _slab_length(lengths: np.ndarray, e_a: int, a: int, elat) -> float:
+    """Mean length along ``a`` of all elements with lattice coordinate ``e_a``.
+
+    Uses the slab average so that deformed meshes get a sensible neighbor
+    extent without per-neighbor lookups.
+    """
+    K = lengths.shape[0]
+    if a == 0:
+        ne = elat[0]
+        mask = (np.arange(K) % ne) == e_a
+    elif a == 1:
+        ne = elat[0]
+        mask = ((np.arange(K) // ne) % elat[1]) == e_a
+    else:
+        mask = (np.arange(K) // (elat[0] * elat[1])) == e_a
+    return float(lengths[mask, a].mean())
+
+
+def _face_constrained(mesh: Mesh, pop: PressureOperator, k: int, a: int, side: int) -> bool:
+    """Is the velocity fully Dirichlet on face (direction a, side 0/1)?"""
+    nd = mesh.ndim
+    sl = [slice(None)] * nd
+    sl[nd - 1 - a] = 0 if side == 0 else -1
+    return bool(np.all(pop.vel_mask.constrained[(k,) + tuple(sl)]))
 
 
 class PressureLattice:
@@ -210,31 +315,6 @@ class SchwarzPreconditioner:
         self._lat_acc = np.empty(self.lattice.shape)
 
     # ------------------------------------------------------------------ setup
-    def _element_lengths(self) -> np.ndarray:
-        """Mean element extent per direction, shape (K, ndim) (r, s[, t]).
-
-        Averages the Euclidean lengths of the element edges along each
-        reference direction — the rectilinear surrogate dimensions.
-        """
-        corners = element_corner_coords(self.mesh)  # (K, 2^nd, nd), r-bit fastest
-        nd = self.mesh.ndim
-        out = np.zeros((self.mesh.K, nd))
-        nv = 2**nd
-        for a in range(nd):
-            pairs = [(v, v | (1 << a)) for v in range(nv) if not (v >> a) & 1]
-            acc = np.zeros(self.mesh.K)
-            for lo, hi in pairs:
-                acc += np.linalg.norm(corners[:, hi] - corners[:, lo], axis=1)
-            out[:, a] = acc / len(pairs)
-        return out
-
-    def _face_constrained(self, k: int, a: int, side: int) -> bool:
-        """Is the velocity fully Dirichlet on face (direction a, side 0/1)?"""
-        nd = self.mesh.ndim
-        sl = [slice(None)] * nd
-        sl[nd - 1 - a] = 0 if side == 0 else -1
-        return bool(np.all(self.pop.vel_mask.constrained[(k,) + tuple(sl)]))
-
     def _setup_fdm(self) -> None:
         """Tensor local solves: generalized FDM on 1-D consistent-Poisson
         patch blocks, one (small dense) eigendecomposition per element and
@@ -242,36 +322,19 @@ class SchwarzPreconditioner:
         mesh, lat = self.mesh, self.lattice
         nd = mesh.ndim
         m = lat.m
-        lengths = self._element_lengths()
-        elat = mesh.element_lattice
+        lengths = element_lengths(mesh)
         self._fdm_data = []  # per element: (s_factors, inv_denom)
         self._subdomain_ix = []  # per element: np.ix_ index tuple (lattice)
         for k in range(mesh.K):
             s_dir, lam_dir, ids_dir = [], [], []
             for a in range(nd):
-                e = int(lat.element_xyz[k, a])
-                ne = elat[a]
                 per = mesh.periodic[a]
-                # Patch of this element plus available neighbors.
-                lo_nb = (e - 1) % ne if (per or e - 1 >= 0) else None
-                hi_nb = (e + 1) % ne if (per or e + 1 <= ne - 1) else None
-                if ne == 1:
-                    lo_nb = hi_nb = None
-                patch = []
-                if lo_nb is not None:
-                    patch.append(self._length_of(lengths, lo_nb, a, elat))
-                mid = len(patch)
-                patch.append(lengths[k, a])
-                if hi_nb is not None:
-                    patch.append(self._length_of(lengths, hi_nb, a, elat))
-                dir_lo = lo_nb is None and not per and self._face_constrained(k, a, 0)
-                dir_hi = hi_nb is None and not per and self._face_constrained(k, a, 1)
-                e_line, x_line = line_consistent_poisson(
-                    patch, mesh.order, dir_lo, dir_hi
+                e_line, x_line, mid = element_line_operators(
+                    mesh, self.pop, lengths, k, a
                 )
                 # Dofs: middle block +- overlap, clipped to the patch.
                 ids = np.arange(mid * m - self.overlap, (mid + 1) * m + self.overlap)
-                ids = ids[(ids >= 0) & (ids < len(patch) * m)]
+                ids = ids[(ids >= 0) & (ids < e_line.shape[0])]
                 sub_e = e_line[np.ix_(ids, ids)]
                 sub_x = x_line[np.ix_(ids, ids)]
                 s, lam = generalized_fdm_pair(sub_e, sub_x)
@@ -295,27 +358,6 @@ class SchwarzPreconditioner:
             inv_den = np.where(den > tol, 1.0 / np.where(den > tol, den, 1.0), 0.0)
             self._fdm_data.append((s_dir, inv_den))
             self._subdomain_ix.append(np.ix_(*ids_dir[::-1]))  # array order
-
-    @staticmethod
-    def _length_of(lengths: np.ndarray, e_a: int, a: int, elat) -> float:
-        """Mean length of all elements with lattice coordinate ``e_a`` along a.
-
-        Uses the column/row average so that deformed meshes get a sensible
-        neighbor extent without per-neighbor lookups.
-        """
-        # lengths is (K, nd); elements with coordinate e_a along a:
-        # recompute via structured indexing is overkill — an average over all
-        # elements sharing that slab is robust and cheap.
-        K = lengths.shape[0]
-        if a == 0:
-            ne = elat[0]
-            mask = (np.arange(K) % ne) == e_a
-        elif a == 1:
-            ne = elat[0]
-            mask = ((np.arange(K) // ne) % elat[1]) == e_a
-        else:
-            mask = (np.arange(K) // (elat[0] * elat[1])) == e_a
-        return float(lengths[mask, a].mean())
 
     def _setup_fem(self) -> None:
         """Overlap-N_o low-order FEM local factorizations on true coordinates.

@@ -1,0 +1,366 @@
+"""Boundary/interior DOF splitting and Schur-complement condensation.
+
+The linear-operation-count elliptic tier (Huismann, Stiller & Froehlich,
+"Factorizing the factorization", PAPERS.md) rests on one structural fact:
+the interior of a tensor-product element is itself a tensor product.
+Splitting each element's dofs into the boundary *shell* ``B`` and the
+*interior* ``I``,
+
+    [ A_BB  A_BI ] [u_B]   [f_B]
+    [ A_IB  A_II ] [u_I] = [f_I],
+
+the interior unknowns are never shared between elements, so they can be
+eliminated element-by-element:
+
+    S  = A_BB - A_BI A_II^{-1} A_IB          (condensed / Schur operator)
+    g  = f_B  - A_BI A_II^{-1} f_I           (condensed right-hand side)
+    u_I = A_II^{-1} (f_I - A_IB u_B)         (back-substitution)
+
+Only ``S`` enters the iteration.  In 2-D the shell has ``4N`` dofs, so a
+dense per-element Schur apply costs ``2 (4N)^2 = O(N^2) = O(N^d)``
+operations — *linear* in the ``N^d`` dofs per element — versus the
+``O(N^{d+1})`` of the standard tensor-product operator apply (Eq. 4).
+The interior solves appear only twice per solve (condense + back-sub),
+not per iteration, and keep the separable form
+
+    A_II = c_1 B_ii (x) A_ii + c_2 A_ii (x) B_ii  (+ mass term)
+
+on rectilinear elements, so they run as fast-diagonalization tensor
+transforms with a *shared* eigenbasis (:class:`TensorInteriorSolver`);
+deformed elements fall back to batched dense Cholesky
+(:class:`DenseInteriorSolver`).
+
+This module holds the reusable pieces; :mod:`repro.solvers.condensed`
+assembles them into the standalone solver and the pressure tier.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from ..backends import dispatch as _dispatch
+from ..backends.base import Workspace
+from ..core.basis import mass_matrix_1d, stiffness_matrix_1d
+from ..core.mesh import Mesh
+from ..core.quadrature import gauss_lobatto_legendre
+from ..perf.flops import add_flops
+
+__all__ = [
+    "shell_split",
+    "dense_element_matrices",
+    "rectilinear_extents",
+    "DenseInteriorSolver",
+    "TensorInteriorSolver",
+    "ElementCondensation",
+]
+
+
+@lru_cache(maxsize=None)
+def shell_split(shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat C-order indices of the boundary shell and interior of a block.
+
+    For a tensor block of ``shape`` (array order, e.g. ``(n_s, n_r)``),
+    returns read-only int arrays ``(boundary, interior)``: a dof is on the
+    boundary iff any of its coordinates sits at 0 or the end of its
+    direction.  Interior indices enumerate exactly the ``[1:-1, ...]``
+    subblock in C order, so interior data reshapes directly to the
+    ``(n-2, ...)`` tensor layout the tensor solver expects.
+    """
+    shape = tuple(int(n) for n in shape)
+    if any(n < 3 for n in shape):
+        raise ValueError(f"every direction needs >= 3 points, got {shape}")
+    grids = np.meshgrid(*[np.arange(n) for n in shape], indexing="ij")
+    on_shell = np.zeros(shape, dtype=bool)
+    for g, n in zip(grids, shape):
+        on_shell |= (g == 0) | (g == n - 1)
+    flat = on_shell.ravel()
+    boundary = np.nonzero(flat)[0]
+    interior = np.nonzero(~flat)[0]
+    boundary.flags.writeable = False
+    interior.flags.writeable = False
+    return boundary, interior
+
+
+def dense_element_matrices(
+    op_local: Callable[[np.ndarray], np.ndarray],
+    K: int,
+    shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Dense per-element matrices ``(K, n_loc, n_loc)`` of a local operator.
+
+    Probes the batched local operator with shared reference basis vectors:
+    a local SEM operator is block-diagonal over elements, so one batched
+    apply of basis vector ``j`` yields column ``j`` of *every* element
+    matrix simultaneously — ``n_loc`` applies total, assembled matrix-free
+    from the operator's tensor-product factors (the operator itself never
+    forms a matrix).
+    """
+    shape = tuple(shape)
+    n_loc = int(np.prod(shape))
+    mats = np.empty((K, n_loc, n_loc))
+    e = np.zeros((K,) + shape)
+    flat = e.reshape(K, n_loc)
+    for j in range(n_loc):
+        flat[:, j] = 1.0
+        mats[:, :, j] = np.asarray(op_local(e)).reshape(K, n_loc)
+        flat[:, j] = 0.0
+    return mats
+
+
+def rectilinear_extents(mesh: Mesh, rel_tol: float = 1e-10) -> Optional[np.ndarray]:
+    """Axis-aligned element extents ``(K, ndim)`` (r, s[, t]), or ``None``.
+
+    Returns the per-element box sizes when every element is an affinely
+    mapped axis-aligned box — each physical coordinate varies only along
+    its own reference direction, and does so as the affine image of the
+    GLL points.  Deformed meshes (where the separable interior
+    factorization does not hold) return ``None``.
+    """
+    nd = mesh.ndim
+    gll = gauss_lobatto_legendre(mesh.order)[0]
+    hs = np.empty((mesh.K, nd))
+    scale = max(float(np.max(np.abs(np.asarray(c)))) for c in mesh.coords)
+    tol = rel_tol * max(scale, 1.0)
+    for comp in range(nd):
+        arr = np.asarray(mesh.coords[comp])
+        own_axis = arr.ndim - 1 - comp
+        # Constant along every direction except its own.
+        for b in range(nd):
+            if b == comp:
+                continue
+            ax = arr.ndim - 1 - b
+            if float(np.max(arr.max(axis=ax) - arr.min(axis=ax))) > tol:
+                return None
+        # Collapse the other spatial axes and compare with the affine map.
+        line = arr
+        for ax in range(arr.ndim - 1, 0, -1):
+            if ax != own_axis:
+                line = np.take(line, 0, axis=ax)
+        # line: (K, n) coordinates along the element's own direction.
+        h = line[:, -1] - line[:, 0]
+        if np.any(h <= 0):
+            return None
+        expected = line[:, :1] + (gll[None, :] + 1.0) * 0.5 * h[:, None]
+        if float(np.max(np.abs(line - expected))) > tol:
+            return None
+        hs[:, comp] = h
+    return hs
+
+
+class DenseInteriorSolver:
+    """Batched dense Cholesky solves with the interior blocks ``A_II^k``.
+
+    The general-geometry fallback: exact for deformed elements and
+    variable coefficients, at ``O(n_i^2)`` per apply after an ``O(n_i^3)``
+    factorization per element.
+    """
+
+    def __init__(self, a_ii: np.ndarray):
+        a_ii = np.asarray(a_ii)
+        if a_ii.ndim != 3 or a_ii.shape[1] != a_ii.shape[2]:
+            raise ValueError(f"expected (K, n_i, n_i) interior blocks, got {a_ii.shape}")
+        self.K = a_ii.shape[0]
+        self.n_i = a_ii.shape[1]
+        self._cho = [
+            scipy.linalg.cho_factor(0.5 * (a_ii[k] + a_ii[k].T)) for k in range(self.K)
+        ]
+
+    def solve_flat(self, f: np.ndarray) -> np.ndarray:
+        """Apply ``A_II^{-1}`` to flat interior data ``(K, n_i[, nrhs])``."""
+        out = np.empty_like(f)
+        for k in range(self.K):
+            out[k] = scipy.linalg.cho_solve(self._cho[k], f[k])
+        nrhs = 1 if f.ndim == 2 else f.shape[2]
+        add_flops(2.0 * self.K * self.n_i * self.n_i * nrhs, "mxm")
+        return out
+
+
+class TensorInteriorSolver:
+    """Interior solves by shared-basis fast diagonalization (rectilinear).
+
+    The Huismann et al. observation that makes the condensed tier cheap to
+    set up: the interior restriction of the separable element operator
+
+        A_II^k = h1 [ c_1^k B_ii (x) A_ii + c_2^k A_ii (x) B_ii ] + h0 j^k B_ii (x) B_ii
+
+    uses the *same* reference interior blocks ``A_ii = A_hat[1:-1, 1:-1]``,
+    ``B_ii = B_hat[1:-1, 1:-1]`` for every element — only the scalar
+    coefficients (element extents) differ.  One shared generalized
+    eigenpair ``A_ii z = lambda B_ii z`` (``S^T B_ii S = I``) therefore
+    factorizes *all* K interiors at once ("factorizing the factorization"),
+    and every inverse apply is two tensor transforms with the shared ``S``
+    — routed through the kernel-backend dispatch boundary like any other
+    shared-operator contraction — plus a per-element diagonal scale.
+    """
+
+    def __init__(
+        self,
+        hs: np.ndarray,
+        order: int,
+        h1: float = 1.0,
+        h0: float = 0.0,
+    ):
+        hs = np.asarray(hs, dtype=float)
+        if hs.ndim != 2:
+            raise ValueError(f"expected (K, ndim) element extents, got {hs.shape}")
+        K, nd = hs.shape
+        self.K, self.ndim = K, nd
+        mi = order - 1  # interior points per direction of the (order+1) block
+        if mi < 1:
+            raise ValueError("tensor interior solve needs order >= 2")
+        self.shape = (mi,) * nd
+        self.n_i = mi**nd
+        a_ii = np.ascontiguousarray(stiffness_matrix_1d(order)[1:-1, 1:-1])
+        b_ii = np.ascontiguousarray(mass_matrix_1d(order)[1:-1, 1:-1])
+        lam, s = scipy.linalg.eigh(a_ii, b_ii)
+        self.s = np.ascontiguousarray(s)
+        self.st = np.ascontiguousarray(s.T)
+        # Separable denominator: per element, per interior gridpoint.
+        half = 0.5 * hs  # (K, nd)
+        jac = np.prod(half, axis=1)  # element Jacobian factor prod h_a / 2
+        den = np.zeros((K,) + self.shape)
+        if h0:
+            den += h0 * jac.reshape((K,) + (1,) * nd)
+        for a in range(nd):
+            coef = h1 * jac * (2.0 / hs[:, a]) ** 2  # (prod h_b/2) * (2/h_a)
+            lam_shape = [1] * (nd + 1)
+            lam_shape[nd - a] = mi  # direction a lives on array axis nd - a
+            den = den + coef.reshape((K,) + (1,) * nd) * lam.reshape(lam_shape)
+        if np.any(den <= 0):
+            raise ValueError("interior eigenvalue sum not positive; check extents")
+        self.inv_den = 1.0 / den
+        self._ws = Workspace()
+
+    def solve(self, f: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply ``A_II^{-1}`` to a batched interior field ``(K,) + shape``."""
+        if f.shape != (self.K,) + self.shape:
+            raise ValueError(
+                f"expected field of shape {(self.K,) + self.shape}, got {f.shape}"
+            )
+        ws = self._ws
+        a = ws.get("tint_a", f.shape)
+        b = ws.get("tint_b", f.shape)
+        # Forward transform S^T along every direction, scale, transform back.
+        cur = f
+        for axis_dir in range(self.ndim):
+            dst = a if cur is not a else b
+            _dispatch.apply_1d(self.st, cur, axis_dir, out=dst)
+            cur = dst
+        dst = a if cur is not a else b
+        np.multiply(cur, self.inv_den, out=dst)
+        add_flops(float(dst.size), "pointwise")
+        cur = dst
+        for axis_dir in range(self.ndim):
+            if axis_dir == self.ndim - 1 and out is not None:
+                dst = out
+            else:
+                dst = a if cur is not a else b
+            _dispatch.apply_1d(self.s, cur, axis_dir, out=dst)
+            cur = dst
+        return cur if out is None else out
+
+    def solve_flat(self, f: np.ndarray) -> np.ndarray:
+        """Apply ``A_II^{-1}`` to flat interior data ``(K, n_i[, nrhs])``.
+
+        The interior indices of :func:`shell_split` enumerate the C-order
+        ``[1:-1, ...]`` subblock, so flat data reshapes straight into the
+        tensor layout.
+        """
+        if f.ndim == 2:
+            return self.solve(f.reshape((self.K,) + self.shape)).reshape(f.shape)
+        # Multi-RHS: treat each column as an independent batched field.
+        out = np.empty_like(f)
+        for j in range(f.shape[2]):
+            col = np.ascontiguousarray(f[:, :, j])
+            out[:, :, j] = self.solve(
+                col.reshape((self.K,) + self.shape)
+            ).reshape(self.K, self.n_i)
+        return out
+
+
+class ElementCondensation:
+    """Schur condensation of dense per-element matrices.
+
+    Splits ``(K, n_loc, n_loc)`` element matrices by :func:`shell_split`,
+    forms the dense per-element Schur complements (symmetrized), and keeps
+    the coupling blocks plus an interior solver for the right-hand-side
+    condensation and back-substitution maps.  All per-iteration work —
+    ``apply_schur`` — is a single batched small-DGEMV through the kernel
+    dispatch boundary: ``2 K n_b^2`` flops, ``O(N^{d})`` per element in 2-D.
+    """
+
+    def __init__(
+        self,
+        mats: np.ndarray,
+        shape: Tuple[int, ...],
+        interior_solver=None,
+    ):
+        mats = np.asarray(mats)
+        shape = tuple(shape)
+        n_loc = int(np.prod(shape))
+        if mats.shape[1:] != (n_loc, n_loc):
+            raise ValueError(
+                f"element matrices {mats.shape} do not match block shape {shape}"
+            )
+        self.K = mats.shape[0]
+        self.shape = shape
+        b_idx, i_idx = shell_split(shape)
+        self.b_idx, self.i_idx = b_idx, i_idx
+        self.n_b, self.n_i = b_idx.size, i_idx.size
+        a_bb = mats[:, b_idx[:, None], b_idx[None, :]]
+        a_bi = np.ascontiguousarray(mats[:, b_idx[:, None], i_idx[None, :]])
+        a_ib = np.ascontiguousarray(mats[:, i_idx[:, None], b_idx[None, :]])
+        a_ii = mats[:, i_idx[:, None], i_idx[None, :]]
+        self.a_bi, self.a_ib = a_bi, a_ib
+        self.interior = (
+            interior_solver if interior_solver is not None else DenseInteriorSolver(a_ii)
+        )
+        # Dense Schur complements: the interior solver itself eliminates the
+        # couplings (n_b right-hand sides per element, paid once at setup).
+        y = self.interior.solve_flat(a_ib)  # (K, n_i, n_b)
+        s = a_bb - a_bi @ y
+        self.schur = np.ascontiguousarray(0.5 * (s + s.transpose(0, 2, 1)))
+
+    # ------------------------------------------------------------- split maps
+    def boundary_of(self, field: np.ndarray) -> np.ndarray:
+        """Gather the shell values of a local block field -> ``(K, n_b)``."""
+        return field.reshape(self.K, -1)[:, self.b_idx]
+
+    def interior_of(self, field: np.ndarray) -> np.ndarray:
+        """Gather the interior values of a local block field -> ``(K, n_i)``."""
+        return field.reshape(self.K, -1)[:, self.i_idx]
+
+    def merge(self, u_b: np.ndarray, u_i: np.ndarray) -> np.ndarray:
+        """Scatter shell + interior data back into a full local block field."""
+        full = np.empty((self.K,) + self.shape)
+        flat = full.reshape(self.K, -1)
+        flat[:, self.b_idx] = u_b
+        flat[:, self.i_idx] = u_i
+        return full
+
+    # ------------------------------------------------------------ condensation
+    def apply_schur(self, v_b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-element condensed apply ``S^k v_b^k`` (batched, dispatched)."""
+        return _dispatch.batched_matvec(self.schur, v_b, out=out)
+
+    def condense_rhs(self, f_b: np.ndarray, f_i: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Condensed RHS ``g = f_B - A_BI A_II^{-1} f_I`` (local, unassembled).
+
+        Returns ``(g_b, u_i_part)`` where ``u_i_part = A_II^{-1} f_I`` is the
+        particular interior solution (reused by callers that back-substitute
+        from it).
+        """
+        u_ip = self.interior.solve_flat(f_i)
+        g_b = f_b - _dispatch.batched_matvec(self.a_bi, u_ip)
+        add_flops(float(g_b.size), "pointwise")
+        return g_b, u_ip
+
+    def back_substitute(self, u_b: np.ndarray, f_i: np.ndarray) -> np.ndarray:
+        """Interior recovery ``u_I = A_II^{-1} (f_I - A_IB u_B)``."""
+        t = f_i - _dispatch.batched_matvec(self.a_ib, u_b)
+        add_flops(float(t.size), "pointwise")
+        return self.interior.solve_flat(t)

@@ -10,6 +10,13 @@ making multi-process tests as reproducible as in-process ones.  The
 fixture also guarantees the observability layer is switched off and empty
 between tests, so instrumentation state cannot leak across test
 boundaries.
+
+Hypothesis tests share one profile registered here instead of per-test
+``@settings`` decorations: ``deadline=None`` (CI machines are too noisy
+for wall-clock deadlines on numerical tests) and a modest example count,
+raised under the ``ci`` profile (``REPRO_HYPOTHESIS_PROFILE=ci``).  The
+hypothesis seed is pinned from the same ``REPRO_TEST_SEED`` root so
+shrunk failures replay exactly.
 """
 
 import hashlib
@@ -18,8 +25,22 @@ import random
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import obs
+
+settings.register_profile("repro", deadline=None, max_examples=10, print_blob=True)
+settings.register_profile("ci", deadline=None, max_examples=25, print_blob=True)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro"))
+
+
+def pytest_configure(config):
+    # Pin hypothesis' derandomization root when no -p hypothesis-seed was
+    # given, so property tests are as order-independent as the numpy ones.
+    if getattr(config.option, "hypothesis_seed", None) is None:
+        config.option.hypothesis_seed = int.from_bytes(
+            hashlib.sha256(b"repro-hypothesis").digest()[:4], "big"
+        )
 
 
 @pytest.fixture(autouse=True)

@@ -1,20 +1,25 @@
 """Cross-module property-based tests (hypothesis): structural invariants
-that must hold for arbitrary admissible inputs."""
+that must hold for arbitrary admissible inputs.
+
+Hypothesis settings (deadline, example counts, derandomization seed) come
+from the shared profile registered in ``conftest.py`` — individual tests
+carry no ``@settings`` decoration."""
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.core.assembly import Assembler
 from repro.core.element import geometric_factors
 from repro.core.filters import FieldFilter
 from repro.core.mesh import box_mesh_2d, map_mesh
-from repro.core.operators import LaplaceOperator, MassOperator
+from repro.core.operators import LaplaceOperator, MassOperator, build_poisson_system
 from repro.core.pressure import PressureOperator
 from repro.ns.diagnostics import FlowDiagnostics
 from repro.solvers.cg import pcg
+from repro.solvers.condensed import CondensedPoissonSolver
 from repro.solvers.xxt import XXTSolver
 
 
@@ -27,7 +32,6 @@ def small_deformation(ax, ay, fx, fy):
     return f
 
 
-@settings(max_examples=15, deadline=None)
 @given(
     ax=st.floats(-0.08, 0.08),
     ay=st.floats(-0.08, 0.08),
@@ -58,7 +62,6 @@ def test_deformed_geometry_valid_and_operators_spd(ax, ay, fx, fy, order):
     assert float(np.sum(geom.bm)) > 0
 
 
-@settings(max_examples=15, deadline=None)
 @given(
     order=st.integers(4, 9),
     alpha=st.floats(0.01, 1.0),
@@ -79,7 +82,6 @@ def test_filter_is_contraction_on_energy(order, alpha, seed):
     assert e1 <= e0 * (1.0 + 1e-9)
 
 
-@settings(max_examples=10, deadline=None)
 @given(
     nex=st.integers(2, 4),
     ney=st.integers(2, 4),
@@ -105,7 +107,6 @@ def test_divergence_theorem(nex, ney, order, seed):
     assert vol == pytest.approx(flux, abs=1e-10 * (1 + abs(vol)))
 
 
-@settings(max_examples=10, deadline=None)
 @given(
     n=st.integers(8, 40),
     seed=st.integers(0, 10**6),
@@ -118,7 +119,6 @@ def test_xxt_inverts_random_spd(n, seed):
     assert solver.verify(a, n_samples=2, seed=seed) < 1e-8
 
 
-@settings(max_examples=12, deadline=None)
 @given(
     n=st.integers(5, 30),
     cond=st.floats(1.0, 1e4),
@@ -135,7 +135,6 @@ def test_pcg_solves_any_spd_system(n, cond, seed):
     assert np.linalg.norm(res.x - x_true) < 1e-6 * np.linalg.norm(x_true)
 
 
-@settings(max_examples=8, deadline=None)
 @given(
     order=st.integers(3, 6),
     seed=st.integers(0, 10**6),
@@ -154,7 +153,6 @@ def test_pressure_operator_adjoint_random_mesh(order, seed):
     assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-12)
 
 
-@settings(max_examples=10, deadline=None)
 @given(
     order=st.integers(2, 7),
     seed=st.integers(0, 10**6),
@@ -173,7 +171,6 @@ def test_mass_integral_linearity_and_positivity(order, seed):
     assert mass.integrate(np.abs(f) + 0.1) > 0
 
 
-@settings(max_examples=10, deadline=None)
 @given(
     n_parts=st.sampled_from([2, 4]),
     seed=st.integers(0, 10**6),
@@ -198,7 +195,6 @@ def test_gs_matches_serial_for_random_partitions(n_parts, seed, op):
         assert np.allclose(out[p], serial[part == p])
 
 
-@settings(max_examples=8, deadline=None)
 @given(seed=st.integers(0, 10**6), a=st.floats(-2, 2), b=st.floats(-2, 2))
 def test_oifs_advection_is_linear_in_the_field(seed, a, b):
     """The sub-integrated advection operator is linear in the advected field."""
@@ -220,7 +216,6 @@ def test_oifs_advection_is_linear_in_the_field(seed, a, b):
     assert np.allclose(o_lin, a * o1 + b * o2, atol=1e-9 * scale)
 
 
-@settings(max_examples=6, deadline=None)
 @given(steps=st.integers(1, 5), seed=st.integers(0, 10**6))
 def test_checkpoint_roundtrip_arbitrary_state(steps, seed):
     """Checkpoints restore velocity/pressure/history exactly after any
@@ -261,3 +256,94 @@ def pathlib_join(d, name):
     import pathlib
 
     return pathlib.Path(d) / name
+
+
+def _deformed_mesh(ax, ay, fx, fy, order):
+    """Random admissible deformed mesh, or reject the draw (see the
+    geometry SPD test for why geometric_factors may refuse a map)."""
+    assume(abs(ax) * fx * np.pi + abs(ay) * fy * np.pi < 0.8)
+    mesh = map_mesh(box_mesh_2d(2, 2, order), small_deformation(ax, ay, fx, fy))
+    try:
+        geometric_factors(mesh)
+    except ValueError:
+        assume(False)
+    return mesh
+
+
+@given(
+    ax=st.floats(-0.06, 0.06),
+    ay=st.floats(-0.06, 0.06),
+    fx=st.integers(1, 3),
+    fy=st.integers(1, 3),
+    order=st.integers(3, 6),
+)
+def test_condensed_operator_symmetric_spd_on_deformed_elements(ax, ay, fx, fy, order):
+    """The per-element Schur complements and the assembled condensed
+    operator are symmetric and nonnegative on any deformed mesh."""
+    mesh = _deformed_mesh(ax, ay, fx, fy, order)
+    cs = CondensedPoissonSolver(mesh)
+    s = cs.ec.schur
+    assert np.max(np.abs(s - s.transpose(0, 2, 1))) < 1e-10 * max(
+        1.0, float(np.max(np.abs(s)))
+    )
+    rng = np.random.default_rng(0)
+    # Admissible interface vectors: continuous across elements, zero on
+    # the Dirichlet boundary.
+    vecs = [
+        cs.iface.dsavg(rng.standard_normal(s.shape[:2])) * cs._b_factor
+        for _ in range(3)
+    ]
+    for v in vecs:
+        q = cs.iface.dot(v, cs.apply_condensed(v))
+        assert q >= -1e-10 * max(1.0, cs.iface.dot(v, v))
+    a01 = cs.iface.dot(vecs[0], cs.apply_condensed(vecs[1]))
+    a10 = cs.iface.dot(vecs[1], cs.apply_condensed(vecs[0]))
+    assert a01 == pytest.approx(a10, rel=1e-9, abs=1e-11)
+
+
+@given(
+    ax=st.floats(-0.06, 0.06),
+    ay=st.floats(-0.06, 0.06),
+    order=st.integers(3, 6),
+    seed=st.integers(0, 10**6),
+)
+def test_condensed_split_roundtrips_full_solution(ax, ay, order, seed):
+    """Boundary/interior splitting is exact: back-substituting from the
+    *full* solve's shell values reproduces its interior values."""
+    mesh = _deformed_mesh(ax, ay, 1, 1, order)
+    sys = build_poisson_system(mesh)
+    rng = np.random.default_rng(seed)
+    f_local = rng.standard_normal(mesh.local_shape)
+    full = pcg(sys.matvec, sys.rhs(f_local), dot=sys.dot,
+               tol=1e-13, maxiter=5000)
+    assert full.converged
+    cs = CondensedPoissonSolver(mesh)
+    u_flat = full.x.reshape(mesh.K, -1)
+    u_i = cs.ec.back_substitute(
+        np.ascontiguousarray(u_flat[:, cs.ec.b_idx]),
+        np.ascontiguousarray(cs.ec.interior_of(f_local)),
+    )
+    scale = max(1.0, float(np.max(np.abs(full.x))))
+    assert np.max(np.abs(u_i - u_flat[:, cs.ec.i_idx])) < 1e-8 * scale
+
+
+@given(
+    ax=st.floats(-0.06, 0.06),
+    ay=st.floats(-0.06, 0.06),
+    order=st.integers(3, 6),
+    seed=st.integers(0, 10**6),
+)
+def test_condensed_solve_matches_full_solve(ax, ay, order, seed):
+    """The condensed solver and the full-grid PCG agree to tight tolerance
+    for arbitrary right-hand sides on arbitrary admissible meshes."""
+    mesh = _deformed_mesh(ax, ay, 1, 1, order)
+    sys = build_poisson_system(mesh)
+    rng = np.random.default_rng(seed)
+    f_local = rng.standard_normal(mesh.local_shape)
+    full = pcg(sys.matvec, sys.rhs(f_local), dot=sys.dot,
+               tol=1e-13, maxiter=5000)
+    cs = CondensedPoissonSolver(mesh)
+    res = cs.solve(f_local, tol=1e-13, maxiter=5000)
+    assert full.converged and res.converged
+    scale = max(float(np.max(np.abs(full.x))), 1e-30)
+    assert np.max(np.abs(res.u - full.x)) < 1e-10 * scale
