@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from conftest import fmt_table, write_result
+from repro.api import SolverConfig
 from repro.core.mesh import box_mesh_2d
 from repro.core.pressure import PressureOperator
 from repro.ns.bcs import VelocityBC
@@ -88,7 +89,7 @@ def oifs_ablation():
         mesh = box_mesh_2d(4, 4, 7, x1=L, y1=L, periodic=(True, True))
         sol = NavierStokesSolver(mesh, re=20.0, dt=0.2, bc=VelocityBC.none(mesh),
                                  convection="oifs", oifs_cfl_target=target,
-                                 projection_window=8)
+                                 config=SolverConfig(projection_window=8))
         sol.set_initial_condition([
             lambda x, y: -np.cos(x) * np.sin(y),
             lambda x, y: np.sin(x) * np.cos(y),

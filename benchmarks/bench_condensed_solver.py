@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 
 from conftest import fmt_table, write_result
+from repro.api import SolverConfig
 from repro.core.mesh import box_mesh_2d
 from repro.core.pressure import PressureOperator
 from repro.perf.flops import counting
@@ -113,8 +114,8 @@ def table2():
     parity = None
     for level in TABLE2_LEVELS:
         case = Table2Case(level, 7)
-        cond = case.run(variant="condensed")
-        fdm = case.run(variant="fdm", overlap=0)
+        cond = case.run(SolverConfig(pressure_variant="condensed"))
+        fdm = case.run(SolverConfig(pressure_variant="fdm", overlap=0))
         rows.append(
             {
                 "level": level,

@@ -1,0 +1,221 @@
+"""Service-layer benchmark: the 64-run Table-2-style sweep (BENCH_service.json).
+
+The service's value proposition is amortization: a sequential sweep pays
+mesh + operator + preconditioner setup on **every** run, while a
+:class:`repro.service.Session` pays it once per distinct (mesh, order,
+variant), reuses successive-RHS projection history across runs that opt
+in (``share_projection=True``), and overlaps the solves on worker
+threads with cross-run apply fusion.  This benchmark measures that claim
+end to end:
+
+* sequential baseline — each run executes solo with **no** cache (a fresh
+  ``Table2Case`` per run, the historical per-row cost);
+* headline service sweep — the same 64 specs with ``share_projection``
+  through one ``Session`` (shared ``FactorCache``, 4 workers, batching
+  on), plus per-run-count rows for the scaling columns;
+* parity sweep — the 64 specs *without* projection sharing, batched and
+  unbatched.  Projection sharing changes iterate trajectories by design
+  (a warm A-orthonormal history means a different, shorter Krylov path),
+  so bitwise parity against the solo baseline is only defined for this
+  no-projection configuration.
+
+Asserted: >= 2x throughput over sequential for the headline sweep, and
+bitwise-identical solutions for the no-projection batched sweep (matmul
+backend pinned — see repro/service/batcher.py for why fusion is
+restricted to that backend).
+
+Emits BENCH_service.json at the repo root and a text table in results/.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, write_result
+from repro.api import RunSpec, SolverConfig
+from repro.backends.dispatch import use_backend
+from repro.service import Session, execute
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+LEVEL = 0
+ORDER = 4
+N_RUNS = 64
+WORKERS = 4
+SWEEP_SIZES = [8, 16, 32, 64]
+
+#: the Table 2 variant rows (label, solver config).
+VARIANTS = [
+    ("fdm", SolverConfig(pressure_variant="fdm")),
+    ("fem-No0", SolverConfig(pressure_variant="fem", overlap=0)),
+    ("fem-No1", SolverConfig(pressure_variant="fem", overlap=1)),
+    ("fem-No3", SolverConfig(pressure_variant="fem", overlap=3)),
+    ("condensed", SolverConfig(pressure_variant="condensed")),
+    ("no-coarse", SolverConfig(pressure_variant="fdm", use_coarse=False)),
+]
+
+
+def _specs(n_runs: int, share: bool):
+    return [
+        RunSpec(
+            "table2",
+            params={"level": LEVEL, "order": ORDER},
+            config=VARIANTS[i % len(VARIANTS)][1],
+            seed=i,
+            label=VARIANTS[i % len(VARIANTS)][0],
+            share_projection=share,
+        )
+        for i in range(n_runs)
+    ]
+
+
+def _session_row(specs, *, batching: bool, projection: bool):
+    with Session(workers=WORKERS, batching=batching) as sess:
+        t0 = time.perf_counter()
+        results = sess.run(specs)
+        wall = time.perf_counter() - t0
+        summary = sess.summary()
+    assert all(r.ok for r in results)
+    n = len(specs)
+    row = {
+        "runs": n,
+        "batched": batching,
+        "projection": projection,
+        "wall_seconds": wall,
+        "throughput_runs_per_s": n / wall,
+        "cache_hit_rate": summary["cache"]["hit_rate"],
+        "fused_groups": summary["batching"]["fused_groups"] if batching else 0,
+        "mean_occupancy": (
+            summary["batching"]["mean_occupancy"] if batching else 0.0
+        ),
+        "max_occupancy": (
+            summary["batching"]["max_occupancy"] if batching else 0
+        ),
+    }
+    return row, results, summary
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    with use_backend("matmul"):
+        # Sequential baseline: solo execution, no cache — every run pays
+        # full setup, exactly what a per-row script did before the service.
+        plain = _specs(N_RUNS, share=False)
+        t0 = time.perf_counter()
+        solo = [execute(s) for s in plain]
+        seq_seconds = time.perf_counter() - t0
+
+        # Headline sweep: throughput / cache-hit-rate vs run count with
+        # the full service stack (cache + batching + shared projection).
+        rows = []
+        for n in SWEEP_SIZES:
+            row, results, summary = _session_row(
+                _specs(n, share=True), batching=True, projection=True
+            )
+            rows.append(row)
+            if n == N_RUNS:
+                headline_row, headline_summary = row, summary
+                all_converged = all(
+                    r.payload["converged"] for r in results
+                )
+
+        # Parity sweep: no projection sharing, batched and unbatched.
+        parity_row, parity_results, _ = _session_row(
+            plain, batching=True, projection=False
+        )
+        rows.append(parity_row)
+        nb_row, _, _ = _session_row(plain, batching=False, projection=False)
+        rows.append(nb_row)
+
+    parity_mismatches = 0
+    for r, s in zip(parity_results, solo):
+        if not np.array_equal(r.payload["x"], s["x"], equal_nan=True):
+            parity_mismatches += 1
+        if r.payload["iterations"] != s["iterations"]:
+            parity_mismatches += 1
+
+    return {
+        "config": {
+            "workload": "table2",
+            "level": LEVEL,
+            "order": ORDER,
+            "runs": N_RUNS,
+            "workers": WORKERS,
+            "variants": [name for name, _ in VARIANTS],
+            "backend": "matmul",
+        },
+        "sequential_seconds": seq_seconds,
+        "sequential_throughput_runs_per_s": N_RUNS / seq_seconds,
+        "service_seconds": headline_row["wall_seconds"],
+        "speedup_vs_sequential": seq_seconds / headline_row["wall_seconds"],
+        "all_converged": all_converged,
+        "cache": headline_summary["cache"],
+        "batching": headline_summary["batching"],
+        "parity_mismatches": parity_mismatches,
+        "parity_seconds": parity_row["wall_seconds"],
+        "sweeps": rows,
+    }
+
+
+def test_service_throughput_at_least_2x_sequential(sweep):
+    """The acceptance criterion: the 64-run sweep through the Session is
+    at least 2x the sequential per-run throughput.  Every run must still
+    converge — projection sharing accelerates, it must not degrade."""
+    assert sweep["all_converged"]
+    assert sweep["speedup_vs_sequential"] >= 2.0, (
+        f"service speedup {sweep['speedup_vs_sequential']:.2f}x < 2x "
+        f"(sequential {sweep['sequential_seconds']:.2f}s, "
+        f"service {sweep['service_seconds']:.2f}s)"
+    )
+
+
+def test_batched_results_bitwise_identical_to_solo(sweep):
+    """Without projection sharing, batched execution is a pure
+    execution-strategy change: solutions AND iteration counts match the
+    solo baseline bitwise."""
+    assert sweep["parity_mismatches"] == 0
+
+
+def test_cache_amortizes_across_runs(sweep):
+    # 64 runs over 6 variants: everything after the first build of each
+    # artifact is a hit.
+    assert sweep["cache"]["hit_rate"] > 0.5
+    assert sweep["cache"]["evictions"] == 0
+
+
+def test_write_report(sweep):
+    JSON_PATH.write_text(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+
+    headers = ["runs", "batched", "proj", "wall s", "runs/s", "hit rate",
+               "fused", "mean occ", "max occ"]
+    table_rows = [
+        [
+            r["runs"],
+            "yes" if r["batched"] else "no",
+            "yes" if r["projection"] else "no",
+            f"{r['wall_seconds']:.2f}",
+            f"{r['throughput_runs_per_s']:.2f}",
+            f"{r['cache_hit_rate']:.3f}",
+            r["fused_groups"],
+            f"{r['mean_occupancy']:.2f}",
+            r["max_occupancy"],
+        ]
+        for r in sweep["sweeps"]
+    ]
+    text = fmt_table(
+        headers,
+        table_rows,
+        title=(
+            f"service sweep: table2 level {LEVEL} order {ORDER}, "
+            f"{WORKERS} workers (sequential baseline "
+            f"{sweep['sequential_seconds']:.2f}s, headline speedup "
+            f"{sweep['speedup_vs_sequential']:.2f}x, parity mismatches "
+            f"{sweep['parity_mismatches']})"
+        ),
+    )
+    write_result("service_sweep", text)

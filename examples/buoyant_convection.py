@@ -19,6 +19,7 @@ from repro import (
     NavierStokesSolver,
     ScalarBC,
     ScalarTransport,
+    SolverConfig,
     VelocityBC,
     box_mesh_2d,
 )
@@ -36,7 +37,7 @@ flow = NavierStokesSolver(
     bc=VelocityBC.no_slip_all(mesh),
     convection="ext",
     filter_alpha=0.05,
-    projection_window=26,
+    config=SolverConfig(projection_window=26),
 )
 flow.set_initial_condition([lambda x, y: 0 * x, lambda x, y: 0 * x])
 

@@ -23,7 +23,7 @@ import sys
 
 import numpy as np
 
-from repro import FlowDiagnostics, NavierStokesSolver, VelocityBC
+from repro import FlowDiagnostics, NavierStokesSolver, SolverConfig, VelocityBC
 from repro.workloads.cylinder_model import cylinder_mesh
 
 QUICK = "--quick" in sys.argv
@@ -44,7 +44,8 @@ bc = VelocityBC(mesh, {
 })
 sol = NavierStokesSolver(
     mesh, re=RE, dt=DT, bc=bc, convection="oifs",
-    filter_alpha=0.05, projection_window=20, pressure_tol=1e-6,
+    filter_alpha=0.05,
+    config=SolverConfig(projection_window=20, pressure_tol=1e-6),
 )
 # Impulsive start: free stream everywhere except the cylinder surface.
 sol.set_initial_condition([free[0], free[1]])

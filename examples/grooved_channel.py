@@ -23,6 +23,7 @@ from repro import (
     NavierStokesSolver,
     ScalarBC,
     ScalarTransport,
+    SolverConfig,
     VelocityBC,
     box_mesh_2d,
     map_mesh,
@@ -48,7 +49,7 @@ mesh = map_mesh(base, groove)
 bc = VelocityBC(mesh, {"ymin": (0.0, 0.0), "ymax": (0.0, 0.0)})
 flow = NavierStokesSolver(
     mesh, re=RE, dt=0.02, bc=bc, convection="ext",
-    filter_alpha=0.05, projection_window=20,
+    filter_alpha=0.05, config=SolverConfig(projection_window=20),
     forcing=lambda x, y, t: (np.full_like(x, 2.0 / RE * 4.0), np.zeros_like(x)),
 )
 flow.set_initial_condition(

@@ -18,6 +18,7 @@ import numpy as np
 from repro import (
     MassOperator,
     NavierStokesSolver,
+    SolverConfig,
     VelocityBC,
     box_mesh_2d,
     build_poisson_system,
@@ -64,7 +65,8 @@ def taylor_green():
     re = 50.0
     mesh = box_mesh_2d(4, 4, 8, x1=L, y1=L, periodic=(True, True))
     sol = NavierStokesSolver(mesh, re=re, dt=0.02, bc=VelocityBC.none(mesh),
-                             convection="ext", projection_window=10)
+                             convection="ext",
+                             config=SolverConfig(projection_window=10))
     sol.set_initial_condition([
         lambda x, y: -np.cos(x) * np.sin(y),
         lambda x, y: np.sin(x) * np.cos(y),

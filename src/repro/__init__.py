@@ -17,7 +17,13 @@ full algorithmic stack:
   alpha-beta-gamma machine models) reproducing the paper's scaling studies,
 * a unified observability layer (:mod:`repro.obs`): hierarchical trace
   regions, solver telemetry, and schema-stable run reports
-  (``python -m repro report``; docs/OBSERVABILITY.md).
+  (``python -m repro report``; docs/OBSERVABILITY.md),
+* a batched many-run solver service (:mod:`repro.service`): a
+  :class:`~repro.service.Session` worker pool sharing a cross-run
+  factorization cache and fusing same-shape operator applies across
+  concurrent runs (``python -m repro sweep``; docs/SERVICE.md), built on
+  the typed :class:`SolverConfig`/:class:`RunSpec` construction API
+  (:mod:`repro.api`).
 
 Quickstart::
 
@@ -35,6 +41,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
+from .api import (
+    RunSpec,
+    SolverConfig,
+    navier_stokes_solver,
+    poisson_solver,
+    stokes_solver,
+    table2_case,
+)
 from .core.assembly import Assembler, DirichletMask
 from .core.element import GeomFactors, geometric_factors
 from .core.evaluation import FieldEvaluator, transfer_field
@@ -67,6 +81,7 @@ from .solvers.pmultigrid import PMultigrid, build_p_hierarchy
 from .solvers.projection import SolutionProjector
 from .solvers.schwarz import HybridSchwarzPreconditioner, SchwarzPreconditioner
 from .solvers.xxt import XXTSolver
+from . import service
 
 __version__ = "1.0.0"
 
@@ -91,11 +106,13 @@ __all__ = [
     "NavierStokesSolver",
     "PMultigrid",
     "PressureOperator",
+    "RunSpec",
     "ScalarBC",
     "ScalarTransport",
     "SchwarzPreconditioner",
     "SEMSystem",
     "SolutionProjector",
+    "SolverConfig",
     "StokesResult",
     "StokesSolver",
     "StepStats",
@@ -114,8 +131,13 @@ __all__ = [
     "save_vtk",
     "transfer_field",
     "map_mesh",
+    "navier_stokes_solver",
     "obs",
     "pcg",
+    "poisson_solver",
     "refine_mesh",
+    "service",
+    "stokes_solver",
+    "table2_case",
     "__version__",
 ]

@@ -1,0 +1,241 @@
+"""Unified construction API: typed configs and one facade for every solver.
+
+Historically each solver front door grew its own ad-hoc keyword spelling
+of the same decisions — ``NavierStokesSolver(pressure_variant=...)``,
+``Table2Case.run(variant=...)``, ``StokesSolver(pressure_tol=...)`` — which
+made programmatic sweeps (the service layer's bread and butter) stringly
+and error-prone.  This module is the single typed vocabulary:
+
+* :class:`SolverConfig` — every solver-stack decision (preconditioner
+  tier, overlap, coarse grid, tolerances, projection window) as one frozen
+  dataclass.  Construct once, ``replace()`` per variant, pass everywhere.
+* :class:`RunSpec` — one service run: a workload name, its parameters, a
+  :class:`SolverConfig`, and a seed.  The unit the
+  :class:`repro.service.Session` queue executes and the unit of
+  determinism (same spec + seed ⇒ bitwise-identical results).
+* Facade constructors (:func:`poisson_solver`, :func:`stokes_solver`,
+  :func:`navier_stokes_solver`, :func:`table2_case`) building every solver
+  from the same two ingredients: problem objects + a config.  Each accepts
+  an optional :class:`repro.service.FactorCache` so amortizable setup
+  (FDM eigenpairs, XXT factors, Schwarz subdomain operators, condensation
+  factors) is shared across constructions.
+
+The old keyword spellings still work but emit :class:`DeprecationWarning`
+via :func:`resolve_config`; the migration table lives in docs/SERVICE.md
+and a lint test (``tests/test_api.py``) keeps the repo itself clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "SolverConfig",
+    "RunSpec",
+    "resolve_config",
+    "DEPRECATED",
+    "poisson_solver",
+    "stokes_solver",
+    "navier_stokes_solver",
+    "table2_case",
+]
+
+#: Sentinel for deprecated keyword parameters: distinguishes "caller never
+#: passed it" from any legitimate value (including None).
+DEPRECATED: Any = object()
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Every solver-stack decision in one typed, immutable object.
+
+    Fields cover the union of the solver front doors; each consumer reads
+    the subset it understands (a Poisson solve ignores ``helmholtz_tol``,
+    a Navier-Stokes run ignores ``tol``).  Defaults reproduce the old
+    per-constructor defaults exactly.
+    """
+
+    #: pressure local-solve tier: "fdm" / "fem" Schwarz, "condensed", or
+    #: "jacobi" (NS testing only).
+    pressure_variant: str = "fdm"
+    #: Schwarz gridpoint overlap N_o (fem study: 0/1/3).
+    overlap: int = 1
+    #: include the R_0^T A_0^{-1} R_0 coarse term.
+    use_coarse: bool = True
+    #: absolute tolerance factor of standalone elliptic solves (Table 2).
+    tol: float = 1e-5
+    #: iteration cap for the outer solve.
+    maxiter: int = 3000
+    #: relative tolerance of the pressure solve inside Stokes/NS steppers.
+    pressure_tol: float = 1e-8
+    #: relative tolerance of the velocity Helmholtz solves (NS).
+    helmholtz_tol: float = 1e-10
+    #: relative tolerance of nested velocity solves (Uzawa Stokes).
+    velocity_tol: float = 1e-11
+    #: successive-RHS projection window L (0 disables; Fig. 4).
+    projection_window: int = 20
+
+    def replace(self, **changes) -> "SolverConfig":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready field mapping (report meta, cache keys)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SolverConfig":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(d) - names)
+        if unknown:
+            raise ValueError(f"unknown SolverConfig fields: {unknown}")
+        return cls(**dict(d))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One service run: workload + parameters + config + seed.
+
+    ``workload`` names a runner registered in :mod:`repro.service.runners`
+    (``"table2"``, ``"poisson"``, ``"stokes"``, ``"shear_layer"``, ...);
+    ``params`` are that runner's keyword parameters (mesh size, level,
+    steps...).  ``seed`` pins every random choice the runner makes, which
+    is what makes "same spec ⇒ bitwise-identical result" testable solo vs
+    batched.  ``batched=False`` opts a run out of cross-run apply fusion;
+    ``share_projection=True`` opts it *into* the session's cross-request
+    successive-RHS projection pool (off by default because sharing history
+    across runs changes iterate trajectories, breaking solo/batched
+    bitwise parity on purpose).
+    """
+
+    workload: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    config: SolverConfig = field(default_factory=SolverConfig)
+    seed: int = 0
+    label: str = ""
+    tags: Tuple[str, ...] = ()
+    batched: bool = True
+    share_projection: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (service report meta, ``serve`` I/O)."""
+        return {
+            "workload": self.workload,
+            "params": dict(self.params),
+            "config": self.config.as_dict(),
+            "seed": self.seed,
+            "label": self.label,
+            "tags": list(self.tags),
+            "batched": self.batched,
+            "share_projection": self.share_projection,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RunSpec":
+        """Build a spec from a JSON document (the ``serve`` wire format)."""
+        d = dict(d)
+        config = d.get("config") or {}
+        if not isinstance(config, SolverConfig):
+            config = SolverConfig.from_dict(config)
+        return cls(
+            workload=d["workload"],
+            params=dict(d.get("params") or {}),
+            config=config,
+            seed=int(d.get("seed", 0)),
+            label=str(d.get("label", "")),
+            tags=tuple(d.get("tags") or ()),
+            batched=bool(d.get("batched", True)),
+            share_projection=bool(d.get("share_projection", False)),
+        )
+
+
+def resolve_config(
+    owner: str,
+    config: Optional[SolverConfig],
+    **legacy: Any,
+) -> SolverConfig:
+    """Merge deprecated keyword arguments into a :class:`SolverConfig`.
+
+    ``legacy`` maps config field names to values the caller passed through
+    the old per-constructor keywords; entries equal to :data:`DEPRECATED`
+    were not passed and are ignored.  Every entry actually passed emits a
+    :class:`DeprecationWarning` naming the replacement.  Passing both
+    ``config`` and a legacy keyword is an error — two sources of truth for
+    the same decision is exactly the ambiguity this API removes.
+    """
+    given = {k: v for k, v in legacy.items() if v is not DEPRECATED}
+    if not given:
+        return config if config is not None else SolverConfig()
+    names = ", ".join(f"{k}=" for k in sorted(given))
+    if config is not None:
+        raise TypeError(
+            f"{owner}: pass either config=SolverConfig(...) or the "
+            f"deprecated keyword(s) {names}, not both"
+        )
+    warnings.warn(
+        f"{owner}: keyword(s) {names} are deprecated; pass "
+        f"config=SolverConfig({names}...) instead (see docs/SERVICE.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolverConfig(**given)
+
+
+# ---------------------------------------------------------------------------
+# Facade constructors: one uniform spelling for every solver front door.
+# All imports are deferred so `repro.api` stays importable from the solver
+# modules themselves (they call resolve_config in their shims).
+# ---------------------------------------------------------------------------
+def poisson_solver(mesh, h1: float = 1.0, h0: float = 0.0,
+                   config: Optional[SolverConfig] = None, cache=None):
+    """A :class:`~repro.solvers.condensed.CondensedPoissonSolver` for ``mesh``.
+
+    With a :class:`~repro.service.FactorCache`, the condensation factors
+    (interior eigenpairs / Cholesky blocks, Schur complements) are built
+    once per (mesh, h1, h0) and shared across constructions.
+    """
+    from .solvers.condensed import CondensedPoissonSolver
+
+    config = config if config is not None else SolverConfig()
+    if cache is None:
+        return CondensedPoissonSolver(mesh, h1=h1, h0=h0)
+    from .service.cache import mesh_signature
+
+    return cache.get(
+        ("condensed_poisson", mesh_signature(mesh), float(h1), float(h0)),
+        lambda: CondensedPoissonSolver(mesh, h1=h1, h0=h0),
+    )
+
+
+def stokes_solver(mesh, re: float = 1.0, bc=None,
+                  config: Optional[SolverConfig] = None, cache=None):
+    """A :class:`~repro.ns.stokes.StokesSolver` from a :class:`SolverConfig`."""
+    from .ns.stokes import StokesSolver
+
+    return StokesSolver(mesh, re=re, bc=bc, config=config, cache=cache)
+
+
+def navier_stokes_solver(mesh, re: float, dt: float, bc=None,
+                         config: Optional[SolverConfig] = None, cache=None,
+                         **physics):
+    """A :class:`~repro.ns.navier_stokes.NavierStokesSolver` from a config.
+
+    ``physics`` passes through the non-solver-stack parameters (scheme,
+    convection, filtering, forcing, coriolis, ...) unchanged — those
+    describe the *problem*, not the solver stack, and stay keywords.
+    """
+    from .ns.navier_stokes import NavierStokesSolver
+
+    return NavierStokesSolver(mesh, re, dt, bc=bc, config=config,
+                              cache=cache, **physics)
+
+
+def table2_case(level: int = 0, order: int = 7, cache=None):
+    """A :class:`~repro.workloads.cylinder_model.Table2Case`, cache-routed."""
+    from .workloads.cylinder_model import Table2Case
+
+    return Table2Case(level=level, order=order, cache=cache)

@@ -27,6 +27,7 @@ that boundary, so counters stay exact regardless of which kernel ran.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,10 +43,24 @@ class Workspace:
     long-lived object (operator, solver, backend), so steady-state applies
     reuse the same memory.  Buffer contents are *not* cleared between
     requests — callers must treat a fresh buffer as uninitialized.
+
+    Storage is **per thread**: each thread sees its own buffer pool, so a
+    long-lived object (operator, preconditioner, backend) shared between
+    the service layer's concurrent runs never hands two threads the same
+    scratch array.  Single-threaded use is unchanged — one pool, same
+    buffers back on every request.  ``nbytes``/``len``/``clear`` act on the
+    calling thread's pool only.
     """
 
     def __init__(self) -> None:
-        self._buffers: Dict[Tuple, np.ndarray] = {}
+        self._tls = threading.local()
+
+    @property
+    def _buffers(self) -> Dict[Tuple, np.ndarray]:
+        buffers = getattr(self._tls, "buffers", None)
+        if buffers is None:
+            buffers = self._tls.buffers = {}
+        return buffers
 
     def get(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
         """Return the buffer for ``(name, shape)``, allocating it on first use."""

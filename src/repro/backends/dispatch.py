@@ -28,6 +28,7 @@ counts for observability.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -47,6 +48,8 @@ __all__ = [
     "use_backend",
     "backend_report",
     "dispatch_choices",
+    "set_batch_hook",
+    "batch_hook",
     "AutoTuneDispatcher",
     "apply_1d",
     "grad",
@@ -113,6 +116,9 @@ class AutoTuneDispatcher(KernelBackend):
         self.hits: Dict[Tuple, int] = {}
         #: shape signature -> {backend name: best seconds} from tuning
         self.timings: Dict[Tuple, Dict[str, float]] = {}
+        #: serializes tuning so concurrent service threads neither race on
+        #: the choice dicts nor skew each other's micro-benchmarks.
+        self._tune_lock = threading.Lock()
 
     @staticmethod
     def signature(op: np.ndarray, u: np.ndarray, direction: int) -> Tuple:
@@ -129,6 +135,13 @@ class AutoTuneDispatcher(KernelBackend):
 
     def _tune(self, key, op, u, direction) -> str:
         """Time every registered backend on this exact call; cache the winner."""
+        with self._tune_lock:
+            name = self.choices.get(key)
+            if name is not None:  # another thread tuned it while we waited
+                return name
+            return self._tune_locked(key, op, u, direction)
+
+    def _tune_locked(self, key, op, u, direction) -> str:
         shape = list(u.shape)
         shape[u.ndim - 1 - direction] = op.shape[0]
         scratch = self.workspace.get("tune_out", tuple(shape))
@@ -163,6 +176,13 @@ class AutoTuneDispatcher(KernelBackend):
 
     def _tune_bmv(self, key, mats, vecs) -> str:
         """Per-shape micro-benchmark of the batched-matvec kernels."""
+        with self._tune_lock:
+            name = self.choices.get(key)
+            if name is not None:
+                return name
+            return self._tune_bmv_locked(key, mats, vecs)
+
+    def _tune_bmv_locked(self, key, mats, vecs) -> str:
         scratch = self.workspace.get("tune_bmv_out", mats.shape[:2])
         best_name, best_t = None, np.inf
         timings: Dict[str, float] = {}
@@ -285,6 +305,37 @@ if _env:
 
 
 # ---------------------------------------------------------------------------
+# Per-thread batch hook: the cross-run fusion seam.
+# ---------------------------------------------------------------------------
+#: thread-local hook storage; a hook intercepts *sanitized, flop-counted*
+#: kernel calls made by the installing thread.
+_HOOK_TLS = threading.local()
+
+
+def set_batch_hook(hook) -> Optional[object]:
+    """Install a kernel-call interceptor for the **calling thread**.
+
+    ``hook`` must provide ``apply_1d(op, u, direction, out)`` and
+    ``batched_matvec(mats, vecs, out)`` with dispatch-entry semantics
+    (return the result; fill and return ``out`` when given).  The hook is
+    handed *sanitized* operands after validation and after the caller's
+    flop tally — this is the seam
+    :class:`repro.service.CrossRunBatcher` uses to gather same-shape
+    applies from concurrent runs into one backend call while per-run flop
+    accounting stays exact.  Pass ``None`` to uninstall.  Returns the
+    previously installed hook (or None).
+    """
+    prev = getattr(_HOOK_TLS, "hook", None)
+    _HOOK_TLS.hook = hook
+    return prev
+
+
+def batch_hook() -> Optional[object]:
+    """The calling thread's installed kernel-call interceptor, if any."""
+    return getattr(_HOOK_TLS, "hook", None)
+
+
+# ---------------------------------------------------------------------------
 # The sanitized kernel entry points used by repro.core.tensor.
 # ---------------------------------------------------------------------------
 def _sanitize(a: np.ndarray) -> np.ndarray:
@@ -335,6 +386,9 @@ def apply_1d(
                 "in-place safe); pass a distinct workspace buffer"
             )
     add_flops(2.0 * m * n * (u.size // n), "mxm")
+    hook = getattr(_HOOK_TLS, "hook", None)
+    if hook is not None:
+        return hook.apply_1d(op, u, direction, out)
     return _ACTIVE.apply_1d(op, u, direction, out=out)
 
 
@@ -372,6 +426,9 @@ def batched_matvec(
                 "safe); pass a distinct workspace buffer"
             )
     add_flops(2.0 * K * m * n, "mxm")
+    hook = getattr(_HOOK_TLS, "hook", None)
+    if hook is not None:
+        return hook.batched_matvec(mats, vecs, out)
     return _ACTIVE.batched_matvec(mats, vecs, out=out)
 
 

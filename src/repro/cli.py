@@ -10,6 +10,8 @@
     python -m repro backends          # kernel backend / auto-tuner report
     python -m repro report [--steps N]# traced shear-layer run -> JSON report
     python -m repro spmd --executor mp --ranks 4   # distributed CG, real procs
+    python -m repro sweep --runs 24 --workers 4    # batched many-run service
+    python -m repro serve < specs.jsonl            # JSON-lines run service
 
 Every subcommand accepts a global ``--backend {auto,matmul,einsum,flat}``
 selecting the kernel backend all tensor-product applies route through
@@ -42,12 +44,13 @@ def _cmd_info(_args) -> int:
 
 
 def _cmd_demo(_args) -> int:
-    from repro import NavierStokesSolver, VelocityBC, box_mesh_2d
+    from repro import NavierStokesSolver, SolverConfig, VelocityBC, box_mesh_2d
 
     L = 2 * np.pi
     mesh = box_mesh_2d(4, 4, 8, x1=L, y1=L, periodic=(True, True))
     sol = NavierStokesSolver(mesh, re=50.0, dt=0.02, bc=VelocityBC.none(mesh),
-                             convection="ext", projection_window=10)
+                             convection="ext",
+                             config=SolverConfig(projection_window=10))
     sol.set_initial_condition([lambda x, y: -np.cos(x) * np.sin(y),
                                lambda x, y: np.sin(x) * np.cos(y)])
     e0 = sol.kinetic_energy()
@@ -156,20 +159,28 @@ def _cmd_report(args) -> int:
     import json
 
     from repro import obs
+    from repro.api import RunSpec, SolverConfig
     from repro.perf.flops import reset_flops
-    from repro.workloads.shear_layer import ShearLayerCase
+    from repro.service import execute
 
     obs.enable()
     obs.reset_all()
     reset_flops()
-    case = ShearLayerCase(
-        n_elements=args.elements,
-        order=args.order,
-        projection_window=args.projection_window,
+    spec = RunSpec(
+        "shear_layer",
+        params={
+            "n_elements": args.elements,
+            "order": args.order,
+            "steps": args.steps,
+        },
+        config=SolverConfig(
+            projection_window=args.projection_window,
+            pressure_tol=1e-6,  # the workload's historical tolerance
+        ),
     )
+    payload = execute(spec)
+    case = payload["case"]
     sol = case.solver
-    for _ in range(args.steps):
-        sol.step()
 
     if args.ranks > 1:
         # Simulated parallel profile: partition this run's mesh, then push
@@ -198,16 +209,9 @@ def _cmd_report(args) -> int:
                 "gs_simulated_seconds", comm.elapsed(), label=f"p{args.ranks}"
             )
 
-    doc = obs.report_json(
-        meta={
-            "workload": "shear_layer",
-            "steps": args.steps,
-            "n_elements": args.elements,
-            "order": args.order,
-            "ranks": args.ranks,
-            "projection_window": args.projection_window,
-        }
-    )
+    meta = spec.as_dict()
+    meta["ranks"] = args.ranks
+    doc = obs.report_json(meta=meta)
     obs.validate_report(doc)
     if args.out:
         with open(args.out, "w") as f:
@@ -246,12 +250,25 @@ def _cmd_spmd(args) -> int:
               f"(have: {', '.join(available_executors())})")
         return 2
 
+    from repro.api import RunSpec, SolverConfig
+
+    spec = RunSpec(
+        "spmd_cg",
+        params={
+            "elements": args.elements,
+            "order": args.order,
+            "ranks": args.ranks,
+            "executor": args.executor,
+        },
+        config=SolverConfig(tol=args.tol, maxiter=args.maxiter),
+        seed=args.seed,
+    )
     obs.enable()
     obs.reset_all()
     machine = LOCALHOST_MP if args.executor == "mp" else ASCI_RED_333
     mesh = box_mesh_2d(args.elements, args.elements, args.order)
     solver = DistributedSEMSolver(mesh, machine, args.ranks)
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(spec.seed)
     f = rng.standard_normal(mesh.local_shape)
 
     # Run the rank program directly so the SPMDRunResult (per-rank stats,
@@ -266,7 +283,8 @@ def _cmd_spmd(args) -> int:
     ctxs = solver.rank_contexts()
     run = run_spmd(
         cg_rank_program,
-        [(ctxs[r], b[r], args.tol, args.maxiter) for r in range(args.ranks)],
+        [(ctxs[r], b[r], spec.config.tol, spec.config.maxiter)
+         for r in range(args.ranks)],
         ranks=args.ranks,
         executor=args.executor,
         machine=machine,
@@ -289,16 +307,7 @@ def _cmd_spmd(args) -> int:
 
     rc = 0 if r0["converged"] else 1
     if args.out:
-        doc = obs.report_json(
-            meta={
-                "workload": "spmd_cg",
-                "elements": args.elements,
-                "order": args.order,
-                "ranks": args.ranks,
-                "executor": args.executor,
-            },
-            spmd=run.report_section(),
-        )
+        doc = obs.report_json(meta=spec.as_dict(), spmd=run.report_section())
         obs.validate_report(doc)
         with open(args.out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -309,24 +318,156 @@ def _cmd_spmd(args) -> int:
     return rc
 
 
+#: The Table 2 variant rows as typed configs (shared by table2 and sweep).
+def _table2_configs():
+    from repro.api import SolverConfig
+
+    return [
+        ("FDM", SolverConfig(pressure_variant="fdm")),
+        ("FEM No=0", SolverConfig(pressure_variant="fem", overlap=0)),
+        ("FEM No=1", SolverConfig(pressure_variant="fem", overlap=1)),
+        ("FEM No=3", SolverConfig(pressure_variant="fem", overlap=3)),
+        ("Condensed", SolverConfig(pressure_variant="condensed")),
+        ("A0=0", SolverConfig(pressure_variant="fdm", use_coarse=False)),
+    ]
+
+
 def _cmd_table2(args) -> int:
+    from repro.service import FactorCache
     from repro.workloads.cylinder_model import Table2Case
 
-    case = Table2Case(level=args.level, order=7)
+    # One cache for the whole table: the mesh, pressure operator, and RHS
+    # are built once and every variant row reuses them.
+    cache = FactorCache()
+    case = Table2Case(level=args.level, order=7, cache=cache)
     print(f"Table 2: E-system variants, K = {case.mesh.K}, N = 7, eps = 1e-5")
-    configs = [("FDM", dict(variant="fdm")),
-               ("FEM No=0", dict(variant="fem", overlap=0)),
-               ("FEM No=1", dict(variant="fem", overlap=1)),
-               ("FEM No=3", dict(variant="fem", overlap=3)),
-               ("Condensed", dict(variant="condensed")),
-               ("A0=0", dict(variant="fdm", use_coarse=False))]
+    configs = _table2_configs()
     if args.variant is not None:
-        configs = [(t, kw) for t, kw in configs if kw["variant"] == args.variant]
+        configs = [(t, c) for t, c in configs
+                   if c.pressure_variant == args.variant]
     print(f"{'variant':>10} {'iters':>6} {'cpu (s)':>8}")
-    for tag, kw in configs:
-        r = case.run(**kw)
+    for tag, config in configs:
+        r = case.run(config)
         print(f"{tag:>10} {r.iterations:6d} {r.cpu_seconds:8.2f}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Batched many-run sweep through the Session service.
+
+    Submits ``--runs`` Table-2-style pressure solves (cycling the variant
+    rows) to a :class:`repro.service.Session`: all runs share one
+    factorization cache, same-shape operator applies from concurrent runs
+    are fused into single backend calls, and every run is traced into a
+    schema-versioned report.  Prints the service summary (throughput,
+    cache hit rate, batch occupancy); ``--out`` writes the full
+    service-level report JSON.
+    """
+    import json
+
+    from repro import obs
+    from repro.api import RunSpec
+    from repro.service import Session
+
+    variants = _table2_configs()
+    specs = [
+        RunSpec(
+            "table2",
+            params={"level": args.level, "order": args.order},
+            config=variants[i % len(variants)][1],
+            label=variants[i % len(variants)][0],
+            seed=i,
+        )
+        for i in range(args.runs)
+    ]
+    with Session(workers=args.workers, batching=not args.no_batch,
+                 window_seconds=args.window) as sess:
+        results = sess.run(specs)
+        summary = sess.summary()
+        doc = sess.report(meta={"workload": "table2_sweep",
+                                "runs": args.runs,
+                                "level": args.level,
+                                "order": args.order})
+    obs.validate_report(doc)
+
+    per_variant = {}
+    for r in results:
+        if r.ok:
+            per_variant.setdefault(r.spec.label, []).append(
+                r.payload["iterations"]
+            )
+    print(f"sweep: {summary['runs']} runs on {summary['workers']} workers "
+          f"({'batched' if not args.no_batch else 'unbatched'})")
+    print(f"{'variant':>10} {'runs':>5} {'iters':>6}")
+    for tag, iters in sorted(per_variant.items()):
+        print(f"{tag:>10} {len(iters):5d} {iters[0]:6d}")
+    cache = summary["cache"]
+    batching = summary["batching"]
+    print(f"throughput: {summary['throughput_runs_per_s']:.2f} runs/s "
+          f"(wall {summary['wall_seconds']:.2f}s, "
+          f"busy {summary['busy_seconds']:.2f}s)")
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2f}, {cache['entries']} entries, "
+          f"{cache['bytes'] / 1e6:.1f} MB)")
+    print(f"batching: {batching['submitted']} applies -> "
+          f"{batching['backend_calls']} backend calls, "
+          f"{batching['fused_groups']} fused groups, occupancy "
+          f"mean {batching['mean_occupancy']:.2f} / "
+          f"max {batching['max_occupancy']}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"service report written to {args.out}")
+    failed = [r for r in results if not r.ok]
+    for r in failed[:3]:
+        print(f"run {r.index} failed: {r.error!r}")
+    return 0 if not failed else 1
+
+
+def _cmd_serve(args) -> int:
+    """Line-oriented run service: JSON RunSpecs in, JSON results out.
+
+    Reads one :class:`repro.api.RunSpec` document per stdin line (the
+    ``RunSpec.as_dict`` wire format), executes it on the shared Session,
+    and emits one JSON result line per run (submission order).  A final
+    line carries the service summary.  This is the scriptable front end:
+
+        echo '{"workload": "table2", "params": {"level": 0}}' \\
+            | python -m repro serve --workers 2
+    """
+    import json
+
+    from repro.api import RunSpec
+    from repro.service import Session
+
+    stream = sys.stdin
+    specs = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        specs.append(RunSpec.from_dict(json.loads(line)))
+    with Session(workers=args.workers, batching=not args.no_batch) as sess:
+        results = sess.run(specs)
+        summary = sess.summary()
+    for r in results:
+        out = {
+            "index": r.index,
+            "workload": r.spec.workload,
+            "label": r.spec.label,
+            "ok": r.ok,
+            "wall_seconds": r.wall_seconds,
+        }
+        if r.ok and isinstance(r.payload, dict):
+            for key in ("iterations", "converged", "K"):
+                if key in r.payload:
+                    out[key] = r.payload[key]
+        if not r.ok:
+            out["error"] = repr(r.error)
+        print(json.dumps(out, sort_keys=True))
+    print(json.dumps({"summary": summary}, sort_keys=True))
+    return 0 if all(r.ok for r in results) else 1
 
 
 def main(argv=None) -> int:
@@ -390,6 +531,24 @@ def main(argv=None) -> int:
     pr.add_argument("--text", action="store_true",
                     help="print the Table-2-style text breakdown instead "
                          "of raw JSON")
+    pw = sub.add_parser("sweep", help="batched many-run Table-2 sweep "
+                                      "through the Session service")
+    pw.add_argument("--runs", type=int, default=12,
+                    help="number of runs to submit (variant rows cycle)")
+    pw.add_argument("--workers", type=int, default=4)
+    pw.add_argument("--level", type=int, default=0, choices=[0, 1, 2])
+    pw.add_argument("--order", type=int, default=7)
+    pw.add_argument("--no-batch", action="store_true",
+                    help="disable cross-run apply fusion")
+    pw.add_argument("--window", type=float, default=1e-3,
+                    help="batch rendezvous window in seconds")
+    pw.add_argument("--out", default=None,
+                    help="write the service-level report JSON here")
+    pv = sub.add_parser("serve", help="JSON-lines run service: RunSpec "
+                                      "documents on stdin, results on stdout")
+    pv.add_argument("--workers", type=int, default=4)
+    pv.add_argument("--no-batch", action="store_true",
+                    help="disable cross-run apply fusion")
     args = parser.parse_args(argv)
     if args.backend is not None:
         from repro import backends as _backends
@@ -406,6 +565,8 @@ def main(argv=None) -> int:
         "backends": _cmd_backends,
         "report": _cmd_report,
         "spmd": _cmd_spmd,
+        "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }[args.command](args)
 
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api import DEPRECATED, SolverConfig, resolve_config
 from ..core.assembly import Assembler
 from ..core.element import geometric_factors
 from ..core.filters import FieldFilter
@@ -92,16 +93,24 @@ class NavierStokesSolver:
         ``"none"`` (Stokes flow).
     filter_alpha:
         Fischer-Mullen filter strength (0 disables; Table 1 / Fig. 3).
-    projection_window:
-        L for the successive-RHS pressure projection (0 disables; Fig. 4).
-    pressure_variant:
-        Pressure local-solve tier: Schwarz ``"fdm"``/``"fem"``, the
-        zero-overlap ``"condensed"`` (static condensation) tier, or
-        ``"jacobi"`` (diagonal preconditioning of E, testing only).
+    config:
+        :class:`~repro.api.SolverConfig` supplying the solver-stack
+        decisions: ``pressure_variant`` (Schwarz ``"fdm"``/``"fem"``, the
+        zero-overlap ``"condensed"`` static-condensation tier, or
+        ``"jacobi"`` — diagonal preconditioning of E, testing only),
+        ``projection_window`` (L for the successive-RHS pressure
+        projection, 0 disables; Fig. 4), ``pressure_tol``, and
+        ``helmholtz_tol``.
+    cache:
+        Optional :class:`~repro.service.FactorCache`; shares geometric
+        factors, the assembler, the pressure operator, and the pressure
+        preconditioner with other constructions on the same mesh.
     forcing:
         Optional body force ``f(x, y[, z], t) -> components``.
     oifs_cfl_target:
         RK4 substep sizing: substeps = ceil(CFL / target).
+    projection_window, pressure_variant, pressure_tol, helmholtz_tol:
+        Deprecated keyword spellings of the ``config`` fields.
     """
 
     def __init__(
@@ -114,10 +123,12 @@ class NavierStokesSolver:
         convection: str = "oifs",
         filter_alpha: float = 0.0,
         filter_modes: int = 1,
-        projection_window: int = 20,
-        pressure_variant: str = "fdm",
-        pressure_tol: float = 1e-8,
-        helmholtz_tol: float = 1e-10,
+        config: Optional[SolverConfig] = None,
+        cache=None,
+        projection_window: int = DEPRECATED,
+        pressure_variant: str = DEPRECATED,
+        pressure_tol: float = DEPRECATED,
+        helmholtz_tol: float = DEPRECATED,
         forcing: Optional[Callable] = None,
         oifs_cfl_target: float = 0.25,
         coarse_dirichlet_vertices: Optional[np.ndarray] = None,
@@ -125,6 +136,17 @@ class NavierStokesSolver:
         coriolis: Optional[Sequence[float]] = None,
         axisymmetric: bool = False,
     ):
+        config = resolve_config(
+            "NavierStokesSolver",
+            config,
+            projection_window=projection_window,
+            pressure_variant=pressure_variant,
+            pressure_tol=pressure_tol,
+            helmholtz_tol=helmholtz_tol,
+        )
+        self.config = config
+        projection_window = config.projection_window
+        pressure_variant = config.pressure_variant
         if scheme not in (1, 2, 3):
             raise ValueError(f"scheme must be 1, 2 or 3, got {scheme}")
         if convection not in ("oifs", "ext", "none"):
@@ -161,8 +183,20 @@ class NavierStokesSolver:
                 raise ValueError("axisymmetric mode is 2-D (x, r) only")
             if float(np.min(np.asarray(mesh.coords[1]))) <= 0.0:
                 raise ValueError("axisymmetric mode needs r > 0 everywhere")
-        self.geom = geometric_factors(mesh, axisymmetric=self.axisymmetric)
-        self.assembler = Assembler.for_mesh(mesh)
+        if cache is not None:
+            from ..service.cache import array_signature, mesh_signature
+
+            sig = mesh_signature(mesh)
+            self.geom = cache.get(
+                ("geom", sig, self.axisymmetric),
+                lambda: geometric_factors(mesh, axisymmetric=self.axisymmetric),
+            )
+            self.assembler = cache.get(
+                ("assembler", sig), lambda: Assembler.for_mesh(mesh)
+            )
+        else:
+            self.geom = geometric_factors(mesh, axisymmetric=self.axisymmetric)
+            self.assembler = Assembler.for_mesh(mesh)
         self.bc = bc if bc is not None else VelocityBC.no_slip_all(mesh)
         self.mask = self.bc.mask
 
@@ -172,28 +206,51 @@ class NavierStokesSolver:
         # the paper's filter; both can be combined.
         conv_cls = DealiasedConvection if dealias else Convection
         self.conv = conv_cls(mesh, self.geom, self.assembler)
-        self.pop = PressureOperator(
-            mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom,
-            axisymmetric=self.axisymmetric,
-        )
-        if pressure_variant == "jacobi":
-            diag = self._pressure_diagonal_estimate()
-            self.pressure_precond = JacobiPreconditioner(diag)
-        elif pressure_variant == "condensed":
-            self.pressure_precond = CondensedEPreconditioner(
-                mesh,
-                self.pop,
+
+        def build_pop():
+            return PressureOperator(
+                mesh, vel_mask=self.mask, assembler=self.assembler,
+                geom=self.geom, axisymmetric=self.axisymmetric,
+            )
+
+        def build_precond():
+            if pressure_variant == "condensed":
+                return CondensedEPreconditioner(
+                    mesh, self.pop, dirichlet_vertices=coarse_dirichlet_vertices
+                )
+            return SchwarzPreconditioner(
+                mesh, self.pop, variant=pressure_variant,
                 dirichlet_vertices=coarse_dirichlet_vertices,
             )
+
+        if cache is not None:
+            mask_sig = array_signature(self.mask.constrained)
+            self.pop = cache.get(
+                ("pressure_operator", sig, mask_sig, self.axisymmetric),
+                build_pop,
+            )
+            if pressure_variant == "jacobi":
+                self.pressure_precond = JacobiPreconditioner(
+                    self._pressure_diagonal_estimate()
+                )
+            else:
+                self.pressure_precond = cache.get(
+                    ("schwarz" if pressure_variant != "condensed"
+                     else "condensed_precond",
+                     sig, mask_sig, pressure_variant, 1, True,
+                     array_signature(coarse_dirichlet_vertices)),
+                    build_precond,
+                )
         else:
-            self.pressure_precond = SchwarzPreconditioner(
-                mesh,
-                self.pop,
-                variant=pressure_variant,
-                dirichlet_vertices=coarse_dirichlet_vertices,
-            )
-        self.pressure_tol = float(pressure_tol)
-        self.helmholtz_tol = float(helmholtz_tol)
+            self.pop = build_pop()
+            if pressure_variant == "jacobi":
+                self.pressure_precond = JacobiPreconditioner(
+                    self._pressure_diagonal_estimate()
+                )
+            else:
+                self.pressure_precond = build_precond()
+        self.pressure_tol = float(config.pressure_tol)
+        self.helmholtz_tol = float(config.helmholtz_tol)
         self.projector = (
             SolutionProjector(self.pop.matvec, self.pop.dot, projection_window)
             if projection_window > 0

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..api import DEPRECATED, SolverConfig, resolve_config
 from ..core.assembly import Assembler
 from ..core.element import geometric_factors
 from ..core.mesh import Mesh
@@ -58,13 +59,19 @@ class StokesSolver:
         Reynolds number (viscosity 1/Re; pure scaling for Stokes).
     bc:
         Velocity Dirichlet conditions (default no-slip everywhere).
-    pressure_variant:
-        Pressure-preconditioner tier: Schwarz ``"fdm"``/``"fem"`` or the
-        zero-overlap ``"condensed"`` (static condensation) local solves.
-    velocity_tol, pressure_tol:
-        Relative tolerances of the nested and outer iterations.  The inner
-        solves must be substantially tighter than the outer ones (inexact
-        Uzawa otherwise stalls CG).
+    config:
+        :class:`~repro.api.SolverConfig` supplying the pressure
+        preconditioner tier (``pressure_variant``: Schwarz ``"fdm"``/
+        ``"fem"`` or the zero-overlap ``"condensed"`` local solves) and the
+        nested/outer tolerances (``velocity_tol``, ``pressure_tol``,
+        ``maxiter``).  The inner solves must be substantially tighter than
+        the outer ones (inexact Uzawa otherwise stalls CG).
+    cache:
+        Optional :class:`~repro.service.FactorCache`; shares the geometric
+        factors, assembler, pressure operator, and preconditioner with
+        other constructions on the same mesh.
+    pressure_variant, velocity_tol, pressure_tol, maxiter:
+        Deprecated keyword spellings of the ``config`` fields.
     """
 
     def __init__(
@@ -72,15 +79,40 @@ class StokesSolver:
         mesh: Mesh,
         re: float = 1.0,
         bc: Optional[VelocityBC] = None,
-        pressure_variant: str = "fdm",
-        velocity_tol: float = 1e-11,
-        pressure_tol: float = 1e-8,
-        maxiter: int = 400,
+        config: Optional[SolverConfig] = None,
+        cache=None,
+        pressure_variant: str = DEPRECATED,
+        velocity_tol: float = DEPRECATED,
+        pressure_tol: float = DEPRECATED,
+        maxiter: int = DEPRECATED,
     ):
+        # Uzawa's outer iteration caps at 400 by default (a Schur-complement
+        # CG, not a raw elliptic solve, so the generic 3000 is too lax).
+        no_cap_given = config is None and maxiter is DEPRECATED
+        config = resolve_config(
+            "StokesSolver",
+            config,
+            pressure_variant=pressure_variant,
+            velocity_tol=velocity_tol,
+            pressure_tol=pressure_tol,
+            maxiter=maxiter,
+        )
+        if no_cap_given:
+            config = config.replace(maxiter=400)
+        self.config = config
         self.mesh = mesh
         self.re = float(re)
-        self.geom = geometric_factors(mesh)
-        self.assembler = Assembler.for_mesh(mesh)
+        if cache is not None:
+            from ..service.cache import mesh_signature
+
+            sig = mesh_signature(mesh)
+            self.geom = cache.get(("geom", sig), lambda: geometric_factors(mesh))
+            self.assembler = cache.get(
+                ("assembler", sig), lambda: Assembler.for_mesh(mesh)
+            )
+        else:
+            self.geom = geometric_factors(mesh)
+            self.assembler = Assembler.for_mesh(mesh)
         self.bc = bc if bc is not None else VelocityBC.no_slip_all(mesh)
         self.mask = self.bc.mask
         self.mass = MassOperator(self.geom)
@@ -90,18 +122,45 @@ class StokesSolver:
         dia = self.assembler.dssum(self.visc.diagonal())
         dia = self.mask.apply(dia) + self.mask.constrained.astype(float)
         self._vel_precond = JacobiPreconditioner(dia)
-        self.pop = PressureOperator(
-            mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom
-        )
-        if pressure_variant == "condensed":
-            self.precond = CondensedEPreconditioner(mesh, self.pop)
-        else:
-            self.precond = SchwarzPreconditioner(
-                mesh, self.pop, variant=pressure_variant
+        pressure_variant = config.pressure_variant
+        if cache is not None:
+            from ..service.cache import array_signature, mesh_signature
+
+            sig = mesh_signature(mesh)
+            mask_sig = array_signature(self.mask.constrained)
+            self.pop = cache.get(
+                ("pressure_operator", sig, mask_sig, False),
+                lambda: PressureOperator(
+                    mesh, vel_mask=self.mask, assembler=self.assembler,
+                    geom=self.geom,
+                ),
             )
-        self.velocity_tol = float(velocity_tol)
-        self.pressure_tol = float(pressure_tol)
-        self.maxiter = int(maxiter)
+            if pressure_variant == "condensed":
+                self.precond = cache.get(
+                    ("condensed_precond", sig, mask_sig, True),
+                    lambda: CondensedEPreconditioner(mesh, self.pop),
+                )
+            else:
+                self.precond = cache.get(
+                    ("schwarz", sig, mask_sig, pressure_variant,
+                     config.overlap, True, "none"),
+                    lambda: SchwarzPreconditioner(
+                        mesh, self.pop, variant=pressure_variant
+                    ),
+                )
+        else:
+            self.pop = PressureOperator(
+                mesh, vel_mask=self.mask, assembler=self.assembler, geom=self.geom
+            )
+            if pressure_variant == "condensed":
+                self.precond = CondensedEPreconditioner(mesh, self.pop)
+            else:
+                self.precond = SchwarzPreconditioner(
+                    mesh, self.pop, variant=pressure_variant
+                )
+        self.velocity_tol = float(config.velocity_tol)
+        self.pressure_tol = float(config.pressure_tol)
+        self.maxiter = int(config.maxiter)
         self.velocity_solves = 0
 
     # ------------------------------------------------------------ internals

@@ -25,12 +25,14 @@ from .report import (
     save_report,
     validate_report,
 )
+from .scope import RunScope, run_scope
 from .telemetry import (
     CommRecord,
     ProjectionRecord,
     SolveRecord,
     Telemetry,
     ValueRecord,
+    current_sink,
     record_comm,
     record_projection,
     record_solve,
@@ -71,10 +73,14 @@ __all__ = [
     "ValueRecord",
     "Telemetry",
     "telemetry",
+    "current_sink",
     "record_solve",
     "record_projection",
     "record_comm",
     "record_value",
+    # scope
+    "RunScope",
+    "run_scope",
     # report
     "SCHEMA_VERSION",
     "report_json",
@@ -85,9 +91,13 @@ __all__ = [
 
 
 def reset_all() -> None:
-    """Clear both the region tree and the telemetry sink."""
+    """Clear both the region tree and the telemetry sink.
+
+    Acts on the calling thread's view: inside a :func:`run_scope` that is
+    the scope's private state, elsewhere the process-global state.
+    """
     reset()
-    telemetry.reset()
+    current_sink().reset()
 
 
 __all__.append("reset_all")

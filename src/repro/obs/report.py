@@ -54,6 +54,11 @@ def _backend_section() -> dict:
 def report_json(
     meta: Optional[Dict[str, Any]] = None,
     spmd: Optional[Dict[str, Any]] = None,
+    service: Optional[Dict[str, Any]] = None,
+    *,
+    tracer=None,
+    sink=None,
+    counter=None,
 ) -> dict:
     """The full observability document (JSON-ready, schema-stable).
 
@@ -62,25 +67,40 @@ def report_json(
     ``spmd`` attaches an optional SPMD-run section — typically
     :meth:`repro.parallel.exec.SPMDRunResult.report_section`, which merges
     every rank's trace regions and comm phases into one measured-vs-model
-    table (additive schema: absent unless provided).
+    table (additive schema: absent unless provided).  ``service`` attaches
+    the optional many-run service summary
+    (:meth:`repro.service.Session.report_section`: throughput, cache hit
+    rates, batch occupancy) — also additive.
+
+    ``tracer``/``sink``/``counter`` override the sources the document is
+    built from; the service layer passes a run scope's private state here
+    (:meth:`repro.obs.scope.RunScope.report`) so per-run reports stay
+    disjoint under concurrency.  Defaults: the calling thread's current
+    tracer/sink and the global flop counter.
     """
     from .. import __version__
+    from .telemetry import current_sink
 
+    tracer = tracer if tracer is not None else _trace.get_tracer()
+    sink = sink if sink is not None else current_sink()
+    counter = counter if counter is not None else global_counter
     doc = {
         "schema": SCHEMA_VERSION,
         "generator": f"repro {__version__}",
         "enabled": _trace.enabled(),
         "meta": dict(meta or {}),
-        "regions": _trace.region_tree(),
+        "regions": tracer.root.as_dict(),
         "flops": {
-            "total": global_counter.total(),
-            "by_category": global_counter.snapshot(),
+            "total": counter.total(),
+            "by_category": counter.snapshot(),
         },
         "backend": _backend_section(),
     }
     if spmd is not None:
         doc["spmd"] = dict(spmd)
-    doc.update(telemetry.as_dict())
+    if service is not None:
+        doc["service"] = dict(service)
+    doc.update(sink.as_dict())
     return doc
 
 
@@ -229,6 +249,8 @@ def validate_report(doc: Any) -> None:
         _check_keys(v, ["name", "value", "label"], f"values[{i}]")
     if "spmd" in doc:
         _validate_spmd(doc["spmd"], "spmd")
+    if "service" in doc:
+        _validate_service(doc["service"], "service")
 
 
 def _validate_spmd(s: Any, path: str) -> None:
@@ -252,6 +274,45 @@ def _validate_spmd(s: Any, path: str) -> None:
         )
         for k, v in row.items():
             _check_type(v, _NUM, f"{path}.phases[{kind!r}].{k}")
+
+
+def _validate_service(s: Any, path: str) -> None:
+    """Optional service section: many-run Session summary."""
+    _check_type(s, dict, path)
+    _check_keys(
+        s,
+        ["workers", "runs", "succeeded", "failed", "wall_seconds",
+         "throughput_runs_per_s", "cache", "batching"],
+        path,
+    )
+    _check_type(s["workers"], int, path + ".workers")
+    _check_type(s["runs"], int, path + ".runs")
+    _check_type(s["succeeded"], int, path + ".succeeded")
+    _check_type(s["failed"], int, path + ".failed")
+    _check_type(s["wall_seconds"], _NUM, path + ".wall_seconds")
+    _check_type(s["throughput_runs_per_s"], _NUM, path + ".throughput_runs_per_s")
+    cache = s["cache"]
+    _check_type(cache, dict, path + ".cache")
+    _check_keys(
+        cache, ["hits", "misses", "evictions", "hit_rate", "entries", "bytes"],
+        path + ".cache",
+    )
+    for k in ("hits", "misses", "evictions", "entries"):
+        _check_type(cache[k], int, f"{path}.cache.{k}")
+    _check_type(cache["hit_rate"], _NUM, path + ".cache.hit_rate")
+    _check_type(cache["bytes"], _NUM, path + ".cache.bytes")
+    batching = s["batching"]
+    _check_type(batching, dict, path + ".batching")
+    _check_keys(
+        batching,
+        ["enabled", "submitted", "backend_calls", "fused_groups",
+         "mean_occupancy", "max_occupancy"],
+        path + ".batching",
+    )
+    _check_type(batching["enabled"], bool, path + ".batching.enabled")
+    for k in ("submitted", "backend_calls", "fused_groups", "max_occupancy"):
+        _check_type(batching[k], int, f"{path}.batching.{k}")
+    _check_type(batching["mean_occupancy"], _NUM, path + ".batching.mean_occupancy")
 
 
 # ---------------------------------------------------------------------------

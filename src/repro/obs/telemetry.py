@@ -20,6 +20,7 @@ node.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,6 +33,7 @@ __all__ = [
     "ValueRecord",
     "Telemetry",
     "telemetry",
+    "current_sink",
     "record_solve",
     "record_projection",
     "record_comm",
@@ -162,6 +164,24 @@ class Telemetry:
 #: the process-global sink
 telemetry = Telemetry()
 
+#: per-thread sink override (installed by repro.obs.scope.run_scope).
+_TLS = threading.local()
+
+
+def _set_thread_sink(sink: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install ``sink`` as this thread's telemetry sink; returns the
+    previous override (None when the thread fed the global sink)."""
+    prev = getattr(_TLS, "sink", None)
+    _TLS.sink = sink
+    return prev
+
+
+def current_sink() -> Telemetry:
+    """The calling thread's sink: a per-run override inside a service run
+    scope, the process-global sink everywhere else."""
+    sink = getattr(_TLS, "sink", None)
+    return sink if sink is not None else telemetry
+
 
 def record_solve(
     solver: str,
@@ -175,7 +195,7 @@ def record_solve(
     """Append a solve record (no-op while observability is disabled)."""
     if not _trace._ENABLED:
         return
-    telemetry.solves.append(
+    current_sink().solves.append(
         SolveRecord(
             solver=solver,
             label=label,
@@ -199,7 +219,7 @@ def record_projection(
     """Append a projection record (no-op while disabled)."""
     if not _trace._ENABLED:
         return
-    telemetry.projections.append(
+    current_sink().projections.append(
         ProjectionRecord(
             label=label,
             basis_size=int(basis_size),
@@ -219,7 +239,7 @@ def record_comm(
     """Append a communication record (no-op while disabled)."""
     if not _trace._ENABLED:
         return
-    telemetry.comms.append(
+    current_sink().comms.append(
         CommRecord(
             kind=kind,
             label=label,
@@ -234,4 +254,4 @@ def record_value(name: str, value: float, label: str = "") -> None:
     """Append a named scalar fact (no-op while disabled)."""
     if not _trace._ENABLED:
         return
-    telemetry.values.append(ValueRecord(name=name, value=float(value), label=label))
+    current_sink().values.append(ValueRecord(name=name, value=float(value), label=label))

@@ -45,10 +45,11 @@ it is bit-for-bit neutral (also pinned by test).
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from typing import Callable, Dict, Iterator, List, Optional
 
-from ..perf.flops import global_counter
+from ..perf.flops import FlopCounter, global_counter
 
 __all__ = [
     "RegionNode",
@@ -119,11 +120,19 @@ class RegionNode:
 
 
 class Tracer:
-    """The process-global region tree and its entry stack."""
+    """A region tree and its entry stack.
 
-    def __init__(self):
+    One process-global instance is the default; the service layer swaps a
+    fresh per-run instance into the calling thread via
+    :func:`repro.obs.scope.run_scope` so concurrent runs record disjoint
+    trees.  ``counter`` is the flop counter whose deltas regions record —
+    the global one by default, a per-run counter inside a run scope.
+    """
+
+    def __init__(self, counter: Optional[FlopCounter] = None):
         self.root = RegionNode("root")
         self._stack: List[RegionNode] = [self.root]
+        self.counter = counter if counter is not None else global_counter
 
     @property
     def current(self) -> RegionNode:
@@ -151,7 +160,7 @@ class Tracer:
     def _exit(self, node: RegionNode, depth: int, dt: float, before: Dict[str, float]) -> None:
         node.calls += 1
         node.seconds += dt
-        after = global_counter.snapshot()
+        after = self.counter.snapshot()
         for cat, n in after.items():
             delta = n - before.get(cat, 0.0)
             if delta:
@@ -174,23 +183,23 @@ class _NullSpan:
 class _Span:
     """Context manager for one live region entry."""
 
-    __slots__ = ("_name", "_node", "_depth", "_t0", "_flops0")
+    __slots__ = ("_name", "_tracer", "_node", "_depth", "_t0", "_flops0")
 
     def __init__(self, name: str):
         self._name = name
 
     def __enter__(self) -> RegionNode:
-        tr = _TRACER
+        tr = self._tracer = get_tracer()
         depth0 = len(tr._stack)
         self._node = tr._enter(self._name)
         self._depth = len(tr._stack) - depth0
-        self._flops0 = global_counter.snapshot()
+        self._flops0 = tr.counter.snapshot()
         self._t0 = time.perf_counter()
         return self._node
 
     def __exit__(self, *exc):
         dt = time.perf_counter() - self._t0
-        _TRACER._exit(self._node, self._depth, dt, self._flops0)
+        self._tracer._exit(self._node, self._depth, dt, self._flops0)
         return False
 
 
@@ -198,6 +207,16 @@ _TRACER = Tracer()
 _NULL = _NullSpan()
 #: module-global switch; read on every trace() call (the no-op fast path).
 _ENABLED = False
+#: per-thread tracer override (installed by repro.obs.scope.run_scope).
+_TLS = threading.local()
+
+
+def _set_thread_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as this thread's tracer; returns the previous
+    override (None when the thread was using the global tracer)."""
+    prev = getattr(_TLS, "tracer", None)
+    _TLS.tracer = tracer
+    return prev
 
 
 def trace(name: str):
@@ -251,22 +270,24 @@ def enabled() -> bool:
 
 def reset() -> None:
     """Clear the region tree (the enabled flag is left as-is)."""
-    _TRACER.reset()
+    get_tracer().reset()
 
 
 def get_tracer() -> Tracer:
-    """The process-global tracer (its ``root`` is the region tree)."""
-    return _TRACER
+    """The calling thread's tracer: a per-run override inside a service
+    run scope, the process-global tracer everywhere else."""
+    tracer = getattr(_TLS, "tracer", None)
+    return tracer if tracer is not None else _TRACER
 
 
 def region_tree() -> dict:
     """JSON-ready snapshot of the whole region tree."""
-    return _TRACER.root.as_dict()
+    return get_tracer().root.as_dict()
 
 
 def find_region(path: str) -> Optional[RegionNode]:
     """Look up a node by ``"a/b/c"`` path; None when absent."""
-    node = _TRACER.root
+    node = get_tracer().root
     for seg in path.split("/"):
         if not seg:
             continue

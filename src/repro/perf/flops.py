@@ -28,6 +28,7 @@ __all__ = [
     "reset_flops",
     "flop_report",
     "counting",
+    "attributing",
     "mxm_flops",
 ]
 
@@ -96,10 +97,45 @@ class FlopCounter:
 #: Process-global counter incremented by the instrumented kernels.
 global_counter = FlopCounter()
 
+#: Per-thread stack of extra counters ``add_flops`` mirrors into; this is
+#: how the service layer attributes flops *exactly* to the run performing
+#: them, even when many runs execute concurrently and the global counter
+#: interleaves their tallies.
+_TLS = threading.local()
+
+
+def _attribution_stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
 
 def add_flops(n: float, category: str = "mxm") -> None:
-    """Increment the global flop counter."""
+    """Increment the global flop counter (and any thread-local attributions)."""
     global_counter.add(n, category)
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        for counter in stack:
+            counter.add(n, category)
+
+
+@contextlib.contextmanager
+def attributing(counter: "FlopCounter" = None) -> Iterator[FlopCounter]:
+    """Also charge this thread's flops to ``counter`` within the block.
+
+    Unlike :func:`counting` (which diffs global snapshots and therefore
+    sees *every* thread's work), attribution is exact under concurrency:
+    only flops added by the calling thread land in ``counter``.  Nesting
+    stacks — every counter on the stack receives the increment.
+    """
+    counter = counter if counter is not None else FlopCounter()
+    stack = _attribution_stack()
+    stack.append(counter)
+    try:
+        yield counter
+    finally:
+        stack.remove(counter)
 
 
 def reset_flops() -> None:

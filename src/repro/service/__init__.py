@@ -1,0 +1,46 @@
+"""Batched many-run solver service (the Session API).
+
+One process, many solver runs: a :class:`Session` executes
+:class:`~repro.api.RunSpec` runs on a worker pool while sharing the
+amortizable state between them —
+
+* :class:`FactorCache` — cross-run factorization/operator cache with
+  content-hash keys and LRU byte-cap eviction (:mod:`repro.service.cache`);
+* :class:`CrossRunBatcher` — fuses same-shape tensor applies from
+  concurrent runs into single backend calls behind the sanitized dispatch
+  boundary (:mod:`repro.service.batcher`);
+* :class:`ProjectorPool` — opt-in cross-run successive-RHS projection
+  reuse (:mod:`repro.service.session`).
+
+Workloads are named runners (:mod:`repro.service.runners`); per-run
+observability rides on :func:`repro.obs.run_scope`.  See docs/SERVICE.md.
+"""
+
+from .batcher import BatchStats, CrossRunBatcher
+from .cache import (
+    CacheStats,
+    FactorCache,
+    array_signature,
+    estimate_nbytes,
+    mesh_signature,
+)
+from .runners import RunContext, execute, get_runner, register, runner_names
+from .session import ProjectorPool, RunResult, Session
+
+__all__ = [
+    "Session",
+    "RunResult",
+    "ProjectorPool",
+    "FactorCache",
+    "CacheStats",
+    "CrossRunBatcher",
+    "BatchStats",
+    "mesh_signature",
+    "array_signature",
+    "estimate_nbytes",
+    "RunContext",
+    "register",
+    "get_runner",
+    "runner_names",
+    "execute",
+]

@@ -1,0 +1,315 @@
+"""Cross-run apply batching: fuse same-shape tensor applies across runs.
+
+Section 6's central observation is that spectral element work is dense
+small-matrix multiplication, and that the *effective* mxm rate rises with
+the number of right-hand-side columns: ``(m x m) @ (m x K m^{d-1})`` runs
+far closer to peak than the same flops issued as many skinny products.  A
+many-run service holds a second, unexploited batching axis: concurrent
+runs on the same mesh issue *identical-shape* operator applies.  Fusing
+them widens every backend call by the number of co-resident runs — the
+same flops, fewer and fatter kernel invocations.
+
+:class:`CrossRunBatcher` implements that fusion as a **per-key** rendezvous
+behind the sanitized dispatch boundary.  Each worker thread installs a
+thread-local hook (:func:`repro.backends.dispatch.set_batch_hook`); the
+hook intercepts ``apply_1d``/``batched_matvec`` *after* argument validation
+and flop accounting, so per-run flop attribution and global counters are
+exact and fusion is purely an execution-strategy change.  The first thread
+to submit a given group key — the same operator matrix, trailing field
+shape, and direction — becomes that group's *leader*: it waits briefly for
+companions, then executes the gathered group **outside the lock**,
+concatenated along the element axis as ONE backend call, and splits the
+result back into each caller's output buffer.  Later same-key arrivals are
+followers: they park until the leader hands them their piece.  Leaders of
+*different* keys execute concurrently — when no fusion opportunity exists
+the batcher degrades to plain parallel execution plus one bounded wait,
+not to a serialized barrier.
+
+Bitwise determinism: NumPy's matmul gufunc computes each (m, m) @ (m, n)
+slice of a stacked operand identically whether the stack holds one run's
+elements or four runs' — elementwise batching never changes a slice's
+reduction order.  Fused results are therefore bitwise identical to solo
+results *for a fixed kernel choice*; the auto-tuning dispatcher may pick
+different kernels for fused vs solo shapes, so parity tests pin the
+``matmul`` backend.  ``batched_matvec`` fusion is restricted to that same
+backend for the same reason.
+
+A run that would deadlock the rendezvous cannot: the batcher counts active
+(registered) runner threads and wakes every leader as soon as every active
+thread is at the rendezvous, and a timeout (the window) bounds a leader's
+wait when some runs are between applies.  Followers cannot hang either —
+their leader always flushes its own group within one window.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backends import dispatch as _dispatch
+
+__all__ = ["CrossRunBatcher", "BatchStats"]
+
+
+class BatchStats:
+    """Occupancy and call-count telemetry for one batcher."""
+
+    def __init__(self) -> None:
+        self.submitted = 0       # intercepted applies
+        self.backend_calls = 0   # actual backend invocations issued
+        self.fused_groups = 0    # backend calls that fused >= 2 applies
+        self._occupancies: List[int] = []
+        self._lock = threading.Lock()
+
+    def record_group(self, occupancy: int) -> None:
+        # Claimers execute groups concurrently; keep the tallies exact.
+        with self._lock:
+            self.backend_calls += 1
+            self._occupancies.append(occupancy)
+            if occupancy >= 2:
+                self.fused_groups += 1
+
+    @property
+    def max_occupancy(self) -> int:
+        return max(self._occupancies, default=0)
+
+    @property
+    def mean_occupancy(self) -> float:
+        occ = self._occupancies
+        return float(sum(occ) / len(occ)) if occ else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": int(self.submitted),
+            "backend_calls": int(self.backend_calls),
+            "fused_groups": int(self.fused_groups),
+            "max_occupancy": int(self.max_occupancy),
+            "mean_occupancy": float(self.mean_occupancy),
+        }
+
+
+class _Pending:
+    """One intercepted apply waiting at the rendezvous.
+
+    Lifecycle: *queued* (in the leader's group) -> *done* (result or
+    error set by the leader, follower released).
+    """
+
+    __slots__ = ("args", "out", "result", "error", "done")
+
+    def __init__(self, args: tuple, out: Optional[np.ndarray]):
+        self.args = args
+        self.out = out
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class _Group:
+    """Entries gathered under one key, flushed by their leader."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries: List[_Pending] = []
+
+
+class CrossRunBatcher:
+    """Rendezvous that fuses same-shape applies from concurrent runs.
+
+    Parameters
+    ----------
+    window_seconds:
+        Upper bound on how long an apply waits for companions when some
+        registered runs are busy between applies.  The rendezvous flushes
+        immediately once every registered thread is waiting, so the window
+        only matters when run phases drift apart.
+    """
+
+    #: leaders always wait on a key's first visits, then re-probe
+    #: periodically so phase changes are rediscovered.
+    PROBE_MIN = 2
+    PROBE_EVERY = 32
+    #: past fusion rate (fused flushes / visits) above which a key is
+    #: considered hot and worth waiting on.
+    HOT_RATE = 1 / 8
+
+    def __init__(self, window_seconds: float = 1e-3):
+        self.window_seconds = float(window_seconds)
+        self.stats = BatchStats()
+        self._cond = threading.Condition()
+        self._active = 0       # registered runner threads
+        self._waiting = 0      # threads currently blocked in _submit
+        self._groups: Dict[tuple, _Group] = {}
+        #: key -> [visits, fused flushes]: the adaptive-wait history.
+        self._key_history: Dict[tuple, List[int]] = {}
+
+    # ----------------------------------------------------------- registration
+    def register(self) -> None:
+        """Declare this thread an active runner (install alongside the hook)."""
+        with self._cond:
+            self._active += 1
+
+    def unregister(self) -> None:
+        """Withdraw this thread; may release a rendezvous it would have joined."""
+        with self._cond:
+            self._active -= 1
+            if self._waiting >= self._active and self._waiting > 0:
+                # Everyone still here is at the rendezvous: wake the
+                # leaders so they flush now instead of after a window.
+                self._cond.notify_all()
+
+    # --------------------------------------------------------------- hook API
+    # These two methods make the batcher a valid dispatch batch hook.
+    def apply_1d(self, op: np.ndarray, u: np.ndarray, direction: int,
+                 out: Optional[np.ndarray]) -> np.ndarray:
+        key = ("a1", id(op), u.shape, int(direction))
+        return self._submit(key, (op, u, direction), out)
+
+    def batched_matvec(self, mats: np.ndarray, vecs: np.ndarray,
+                       out: Optional[np.ndarray]) -> np.ndarray:
+        key = ("bmv", id(mats), vecs.shape)
+        return self._submit(key, (mats, vecs), out)
+
+    # -------------------------------------------------------------- rendezvous
+    def _submit(self, key: tuple, args: tuple,
+                out: Optional[np.ndarray]) -> np.ndarray:
+        entry = _Pending(args, out)
+        with self._cond:
+            self.stats.submitted += 1
+            group = self._groups.get(key)
+            is_leader = group is None
+            if is_leader:
+                group = self._groups[key] = _Group()
+            group.entries.append(entry)
+            self._waiting += 1
+            if self._waiting >= self._active:
+                # Everyone is at the rendezvous: wake every leader.
+                self._cond.notify_all()
+            elif is_leader and self._worth_waiting(key):
+                # Wait for companions: released early by the notify above,
+                # bounded by the window when other runs are between applies.
+                # Keys that historically never fuse skip the wait entirely —
+                # on a workload with no alignment the batcher then degrades
+                # to plain parallel execution, not a per-apply tax.
+                self._cond.wait(timeout=self.window_seconds)
+            if is_leader:
+                # Detach the group; later same-key arrivals start a new one.
+                if self._groups.get(key) is group:
+                    del self._groups[key]
+                hist = self._key_history.setdefault(key, [0, 0])
+                hist[0] += 1
+                if len(group.entries) > 1:
+                    hist[1] += 1
+                self._waiting -= 1
+            else:
+                # Follower: the leader executes our entry and marks it done.
+                while not entry.done:
+                    self._cond.wait()
+                self._waiting -= 1
+                if entry.error is not None:
+                    raise entry.error
+                assert entry.result is not None
+                return entry.result
+        # Leader path, outside the lock: leaders of different keys execute
+        # concurrently, so with no fusion opportunity the batcher costs one
+        # bounded wait, not a serialized barrier.
+        return self._lead(key, group, entry)
+
+    def _worth_waiting(self, key: tuple) -> bool:
+        """Adaptive wait decision: probe young/periodic visits, else wait
+        only on keys whose past flushes actually fused (condition lock
+        held)."""
+        hist = self._key_history.get(key)
+        if hist is None:
+            return True
+        visits, fused = hist
+        if visits < self.PROBE_MIN or visits % self.PROBE_EVERY == 0:
+            return True
+        return fused >= self.HOT_RATE * visits
+
+    def _lead(self, key: tuple, group: _Group, entry: _Pending) -> np.ndarray:
+        """Execute a detached group (no lock held) and release its members."""
+        try:
+            self._execute_group(key, group.entries)
+        except BaseException as exc:  # propagate to every member
+            for e in group.entries:
+                if e.result is None and e.error is None:
+                    e.error = exc
+        with self._cond:
+            for e in group.entries:
+                e.done = True
+            self._cond.notify_all()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result
+
+    # -------------------------------------------------------------- execution
+    @staticmethod
+    def _fusable(backend) -> bool:
+        """Only the plain matmul backend evaluates every element slice of a
+        fused stack with the same gufunc inner loop as a solo call; the
+        flattened backend folds the batch into one GEMM (shape-dependent
+        blocking) and the auto dispatcher may pick different kernels for
+        fused vs solo shapes.  Non-fusable backends execute per entry —
+        still counted, never fused — so parity holds under every backend.
+        """
+        return type(backend).__name__ == "MatmulBackend"
+
+    def _execute_group(self, key: tuple, entries: List[_Pending]) -> None:
+        if key[0] == "a1":
+            self._execute_apply_1d(entries)
+        else:
+            self._execute_batched_matvec(entries)
+
+    def _execute_apply_1d(self, entries: List[_Pending]) -> None:
+        backend = _dispatch.active_backend()
+        if len(entries) == 1 or not self._fusable(backend):
+            for e in entries:
+                op, u, direction = e.args
+                e.result = backend.apply_1d(op, u, direction, out=e.out)
+                self.stats.record_group(1)
+            return
+        op, _, direction = entries[0].args
+        # Concatenate along the element axis: apply_1d contracts a trailing
+        # field axis (axis u.ndim-1-direction >= 1), so axis 0 is pure batch
+        # and each element's contraction is computed exactly as it would be
+        # solo.
+        fused = np.concatenate([e.args[1] for e in entries], axis=0)
+        fused_out = backend.apply_1d(op, fused, direction, out=None)
+        offset = 0
+        for e in entries:
+            k = e.args[1].shape[0]
+            piece = fused_out[offset:offset + k]
+            offset += k
+            if e.out is not None:
+                np.copyto(e.out, piece)
+                e.result = e.out
+            else:
+                e.result = np.ascontiguousarray(piece)
+        self.stats.record_group(len(entries))
+
+    def _execute_batched_matvec(self, entries: List[_Pending]) -> None:
+        backend = _dispatch.active_backend()
+        if len(entries) == 1 or not self._fusable(backend):
+            for e in entries:
+                mats, vecs = e.args
+                e.result = backend.batched_matvec(mats, vecs, out=e.out)
+                self.stats.record_group(1)
+            return
+        mats = entries[0].args[0]
+        stack = np.stack([e.args[1] for e in entries])  # (R, K, n)
+        # (1, K, m, n) @ (R, K, n, 1) -> (R, K, m, 1): each (K,) slice runs
+        # the same gufunc inner loop as a solo batched_matvec.
+        fused = np.matmul(mats[None, :, :, :], stack[:, :, :, None])[..., 0]
+        for r, e in enumerate(entries):
+            piece = fused[r]
+            if e.out is not None:
+                np.copyto(e.out, piece)
+                e.result = e.out
+            else:
+                e.result = np.ascontiguousarray(piece)
+        self.stats.record_group(len(entries))

@@ -23,6 +23,7 @@ fix for a preconditioner component.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -170,6 +171,10 @@ class CoarseOperator:
         a0 = z @ a0 @ z + sp.diags(constrained.astype(float))
         self.a0 = a0.tocsc()
         self._solve = spla.factorized(self.a0)
+        # SuperLU's triangular solve is not documented re-entrant; the
+        # service layer shares one CoarseOperator across worker threads,
+        # so serialize the (tiny) vertex solve.
+        self._solve_lock = threading.Lock()
 
         # Per-element restriction: corner hats evaluated at reference GL pts.
         m = pop.m
@@ -210,7 +215,8 @@ class CoarseOperator:
     def solve_vertex(self, b0: np.ndarray) -> np.ndarray:
         """``A_0^{-1} b0`` with constrained entries zeroed."""
         b = np.where(self.constrained, 0.0, b0)
-        x = self._solve(b)
+        with self._solve_lock:
+            x = self._solve(b)
         add_flops(2.0 * self.a0.nnz, "coarse")
         return np.where(self.constrained, 0.0, x)
 

@@ -43,6 +43,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.linalg
 
+from ..backends.base import Workspace
 from ..core.mesh import Mesh
 from ..core.pressure import PressureOperator
 from ..obs.trace import trace
@@ -311,8 +312,9 @@ class SchwarzPreconditioner:
             self._weight = None
         # Persistent lattice-shaped buffers: every preconditioner apply
         # reuses these instead of allocating two lattice arrays per call.
-        self._lat_in = np.empty(self.lattice.shape)
-        self._lat_acc = np.empty(self.lattice.shape)
+        # Workspace storage is per-thread, so a cache-shared preconditioner
+        # stays scratch-safe under the service layer's concurrent runs.
+        self._ws = Workspace()
 
     # ------------------------------------------------------------------ setup
     def _setup_fdm(self) -> None:
@@ -389,10 +391,10 @@ class SchwarzPreconditioner:
     def local_solves(self, r: np.ndarray) -> np.ndarray:
         """``sum_k R_k^T A~_k^{-1} R_k r`` on the pressure grid."""
         lat = self.lattice
-        rl = lat.to_lattice(r, out=self._lat_in)
+        rl = lat.to_lattice(r, out=self._ws.get("lat_in", self.lattice.shape))
         if self._weight is not None:
             rl *= self._weight
-        out = self._lat_acc
+        out = self._ws.get("lat_acc", self.lattice.shape)
         out.fill(0.0)
         if self.variant == "fdm":
             nd = self.mesh.ndim

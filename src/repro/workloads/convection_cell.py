@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.mesh import box_mesh_2d
 from ..ns.bcs import ScalarBC, VelocityBC
+from ..api import SolverConfig
 from ..ns.navier_stokes import NavierStokesSolver
 from ..ns.scalar import BoussinesqCoupling, ScalarTransport
 
@@ -84,8 +85,10 @@ class ConvectionCellCase:
             bc=VelocityBC.no_slip_all(mesh),
             convection="ext",
             filter_alpha=0.05,
-            projection_window=projection_window,
-            pressure_tol=pressure_tol,
+            config=SolverConfig(
+                projection_window=projection_window,
+                pressure_tol=pressure_tol,
+            ),
         )
         self.flow.set_initial_condition(
             [lambda x, y: 0 * x, lambda x, y: 0 * x]

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..api import DEPRECATED, SolverConfig, resolve_config
 from ..core.mesh import Mesh, box_mesh_2d, map_mesh
 from ..core.pressure import PressureOperator
 from ..solvers.cg import pcg
@@ -81,18 +83,44 @@ class Table2Result:
 class Table2Case:
     """Solve the E system on a cylinder mesh with one local-solve variant.
 
-    Parameters mirror the Table 2 columns: ``variant="fdm"``;
-    ``variant="fem"`` with ``overlap`` 0/1/3; ``use_coarse=False`` for the
-    ``A_0 = 0`` column.  ``variant="condensed"`` runs the zero-overlap
-    statically condensed tier (``overlap`` is ignored there).
+    Config fields mirror the Table 2 columns: ``pressure_variant="fdm"``;
+    ``"fem"`` with ``overlap`` 0/1/3; ``use_coarse=False`` for the
+    ``A_0 = 0`` column.  ``"condensed"`` runs the zero-overlap statically
+    condensed tier (``overlap`` is ignored there).
+
+    With a :class:`~repro.service.FactorCache`, the mesh, pressure
+    operator, RHS, and each preconditioner variant are built once and
+    shared across every case/run on the same (level, order) — the sweep
+    and variant-comparison paths stop paying setup per row.
     """
 
-    def __init__(self, level: int = 0, order: int = 7):
+    def __init__(self, level: int = 0, order: int = 7, cache=None):
+        self._cache = cache
+        if cache is not None:
+            from ..service.cache import mesh_signature
+
+            self.mesh = cache.get(
+                ("cylinder_mesh", int(level), int(order)),
+                lambda: cylinder_mesh(level, order),
+            )
+            self._mesh_sig = mesh_signature(self.mesh)
+            self.pop = cache.get(
+                ("table2_pop", self._mesh_sig),
+                lambda: PressureOperator(self.mesh),
+            )
+            self.rhs = cache.get(
+                ("table2_rhs", self._mesh_sig),
+                lambda: self._build_rhs(),
+            )
+            return
         self.mesh = cylinder_mesh(level, order)
         # Start-up flow past the cylinder: free stream at the outer arc
         # (Dirichlet), no-slip cylinder, symmetry plane treated as
         # Dirichlet for the velocity mask -> enclosed-type pressure system.
         self.pop = PressureOperator(self.mesh)
+        self.rhs = self._build_rhs()
+
+    def _build_rhs(self) -> np.ndarray:
         # Impulsive-start RHS: divergence of the discontinuous initial
         # guess (free stream everywhere, zero on the cylinder) — smooth in
         # the interior, boundary-layer structure near r = 1.
@@ -103,26 +131,45 @@ class Table2Case:
         u0 = [self.pop.vel_mask.apply(c) for c in u_inf]
         g = self.pop.apply_div(u0)
         g -= np.sum(g) / g.size
-        self.rhs = g
+        return g
+
+    def _build_precond(self, config: SolverConfig):
+        if config.pressure_variant == "condensed":
+            return CondensedEPreconditioner(
+                self.mesh, self.pop, use_coarse=config.use_coarse
+            )
+        return SchwarzPreconditioner(
+            self.mesh, self.pop, variant=config.pressure_variant,
+            overlap=config.overlap, use_coarse=config.use_coarse,
+        )
 
     def run(
         self,
-        variant: str = "fdm",
-        overlap: int = 1,
-        use_coarse: bool = True,
-        tol: float = 1e-5,
-        maxiter: int = 3000,
+        config: Optional[SolverConfig] = None,
+        variant: str = DEPRECATED,
+        overlap: int = DEPRECATED,
+        use_coarse: bool = DEPRECATED,
+        tol: float = DEPRECATED,
+        maxiter: int = DEPRECATED,
     ) -> Table2Result:
+        config = resolve_config(
+            "Table2Case.run",
+            config,
+            pressure_variant=variant,
+            overlap=overlap,
+            use_coarse=use_coarse,
+            tol=tol,
+            maxiter=maxiter,
+        )
         t0 = time.perf_counter()
-        if variant == "condensed":
-            precond = CondensedEPreconditioner(
-                self.mesh, self.pop, use_coarse=use_coarse
+        if self._cache is not None:
+            precond = self._cache.get(
+                ("table2_precond", self._mesh_sig, config.pressure_variant,
+                 config.overlap, config.use_coarse),
+                lambda: self._build_precond(config),
             )
         else:
-            precond = SchwarzPreconditioner(
-                self.mesh, self.pop, variant=variant, overlap=overlap,
-                use_coarse=use_coarse,
-            )
+            precond = self._build_precond(config)
         t_setup = time.perf_counter() - t0
         rhs_norm = float(np.linalg.norm(self.rhs.ravel()))
         t0 = time.perf_counter()
@@ -131,18 +178,59 @@ class Table2Case:
             self.rhs,
             dot=self.pop.dot,
             precond=precond,
-            tol=tol * rhs_norm,
-            maxiter=maxiter,
+            tol=config.tol * rhs_norm,
+            maxiter=config.maxiter,
             label="table2_pressure",
         )
         t_solve = time.perf_counter() - t0
         return Table2Result(
             K=self.mesh.K,
-            variant=variant,
-            overlap=overlap,
-            use_coarse=use_coarse,
+            variant=config.pressure_variant,
+            overlap=config.overlap,
+            use_coarse=config.use_coarse,
             iterations=res.iterations,
             cpu_seconds=t_solve,
             setup_seconds=t_setup,
             converged=res.converged,
         )
+
+    def solve(self, config: Optional[SolverConfig] = None,
+              projector=None) -> np.ndarray:
+        """Solve and return the pressure field (the bitwise-parity probe).
+
+        ``projector`` is an optional
+        :class:`~repro.solvers.projection.SolutionProjector` built on this
+        case's operator: the solve then iterates only on the perturbation
+        ``b - E x_bar`` and folds the new solution into the history — the
+        cross-request reuse path of the service's projector pool.
+        """
+        config = config if config is not None else SolverConfig()
+        precond = (
+            self._cache.get(
+                ("table2_precond", self._mesh_sig, config.pressure_variant,
+                 config.overlap, config.use_coarse),
+                lambda: self._build_precond(config),
+            )
+            if self._cache is not None
+            else self._build_precond(config)
+        )
+        rhs_norm = float(np.linalg.norm(self.rhs.ravel()))
+        if projector is not None:
+            x_bar, b = projector.start(self.rhs)
+        else:
+            x_bar, b = None, self.rhs
+        res = pcg(
+            self.pop.matvec,
+            b,
+            dot=self.pop.dot,
+            precond=precond,
+            tol=config.tol * rhs_norm,
+            maxiter=config.maxiter,
+            label="table2_pressure",
+        )
+        x = res.x if x_bar is None else x_bar + res.x
+        if projector is not None:
+            projector.finish(res.x, x)
+        self.last_iterations = res.iterations
+        self.last_converged = res.converged
+        return x

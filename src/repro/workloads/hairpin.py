@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.mesh import Mesh, box_mesh_3d, map_mesh
 from ..ns.bcs import VelocityBC
+from ..api import SolverConfig
 from ..ns.navier_stokes import NavierStokesSolver, StepStats
 
 __all__ = ["bump_channel_mesh", "HairpinCase"]
@@ -123,8 +124,10 @@ class HairpinCase:
             bc=bc,
             convection="oifs",
             filter_alpha=filter_alpha,
-            projection_window=projection_window,
-            pressure_tol=pressure_tol,
+            config=SolverConfig(
+                projection_window=projection_window,
+                pressure_tol=pressure_tol,
+            ),
         )
         d = delta
         self.solver.set_initial_condition(

@@ -32,6 +32,7 @@ import scipy.linalg
 
 from ..core.mesh import box_mesh_2d
 from ..ns.bcs import VelocityBC
+from ..api import SolverConfig
 from ..ns.navier_stokes import NavierStokesSolver
 
 __all__ = [
@@ -201,8 +202,7 @@ class OrrSommerfeldCase:
             scheme=scheme,
             convection=convection,
             filter_alpha=filter_alpha,
-            projection_window=15,
-            pressure_tol=1e-9,
+            config=SolverConfig(projection_window=15, pressure_tol=1e-9),
             forcing=lambda x, y, t: (np.full_like(x, 2.0 / re), np.zeros_like(x)),
         )
         self.u_fn, self.v_fn, self.c_mode = ts_wave_fields(re, alpha_wave, n_cheb)

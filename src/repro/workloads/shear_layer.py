@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.mesh import box_mesh_2d
 from ..ns.bcs import VelocityBC
+from ..api import SolverConfig
 from ..ns.navier_stokes import NavierStokesSolver
 
 __all__ = ["ShearLayerCase", "ShearLayerResult"]
@@ -93,8 +94,10 @@ class ShearLayerCase:
             bc=VelocityBC.none(self.mesh),
             convection=convection,
             filter_alpha=filter_alpha,
-            projection_window=projection_window,
-            pressure_tol=pressure_tol,
+            config=SolverConfig(
+                projection_window=projection_window,
+                pressure_tol=pressure_tol,
+            ),
         )
         rho_ = rho
         self.solver.set_initial_condition(

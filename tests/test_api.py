@@ -1,0 +1,239 @@
+"""Typed config API: SolverConfig/RunSpec semantics, deprecation shims,
+facade constructors, and the repo-wide deprecated-signature lint."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DEPRECATED,
+    RunSpec,
+    SolverConfig,
+    poisson_solver,
+    resolve_config,
+    table2_case,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# SolverConfig
+# ---------------------------------------------------------------------------
+class TestSolverConfig:
+    def test_defaults_match_historical_constructor_defaults(self):
+        c = SolverConfig()
+        assert c.pressure_variant == "fdm"
+        assert c.overlap == 1
+        assert c.use_coarse is True
+        assert c.tol == 1e-5
+        assert c.maxiter == 3000
+        assert c.pressure_tol == 1e-8
+        assert c.helmholtz_tol == 1e-10
+        assert c.velocity_tol == 1e-11
+        assert c.projection_window == 20
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SolverConfig().tol = 1.0
+
+    def test_replace_returns_modified_copy(self):
+        base = SolverConfig()
+        mod = base.replace(overlap=3, pressure_variant="fem")
+        assert mod.overlap == 3 and mod.pressure_variant == "fem"
+        assert base.overlap == 1  # original untouched
+
+    def test_dict_roundtrip(self):
+        c = SolverConfig(pressure_variant="condensed", tol=1e-7)
+        assert SolverConfig.from_dict(c.as_dict()) == c
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SolverConfig.from_dict({"tol": 1e-5, "typo_field": 1})
+
+
+class TestRunSpec:
+    def test_dict_roundtrip(self):
+        spec = RunSpec(
+            "table2",
+            params={"level": 1},
+            config=SolverConfig(pressure_variant="fem", overlap=0),
+            seed=7,
+            label="row3",
+            tags=("sweep",),
+            batched=False,
+            share_projection=True,
+        )
+        back = RunSpec.from_dict(spec.as_dict())
+        assert back == spec
+
+    def test_from_dict_minimal(self):
+        spec = RunSpec.from_dict({"workload": "poisson"})
+        assert spec.config == SolverConfig()
+        assert spec.seed == 0 and spec.batched is True
+
+
+# ---------------------------------------------------------------------------
+# resolve_config / deprecation shims
+# ---------------------------------------------------------------------------
+class TestResolveConfig:
+    def test_passthrough_without_legacy(self):
+        c = SolverConfig(tol=1e-9)
+        assert resolve_config("X", c) is c
+        assert resolve_config("X", None) == SolverConfig()
+
+    def test_legacy_kwargs_warn_and_build_config(self):
+        with pytest.warns(DeprecationWarning, match="X: keyword"):
+            c = resolve_config("X", None, overlap=3, tol=DEPRECATED)
+        assert c.overlap == 3
+        assert c.tol == SolverConfig().tol  # DEPRECATED sentinel ignored
+
+    def test_both_sources_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_config("X", SolverConfig(), overlap=3)
+
+    def test_table2_run_shim(self, table2_fast_case):
+        case, config = table2_fast_case
+        with pytest.warns(DeprecationWarning, match="Table2Case.run"):
+            legacy = case.run(variant="fdm", maxiter=config.maxiter,
+                              tol=config.tol)
+        modern = case.run(config)
+        assert legacy.iterations == modern.iterations
+
+    def test_navier_stokes_shim_warns(self):
+        from repro import NavierStokesSolver, VelocityBC, box_mesh_2d
+
+        mesh = box_mesh_2d(2, 2, 4, periodic=(True, True))
+        with pytest.warns(DeprecationWarning, match="NavierStokesSolver"):
+            sol = NavierStokesSolver(mesh, re=10.0, dt=0.1,
+                                     bc=VelocityBC.none(mesh),
+                                     projection_window=5)
+        assert sol.config.projection_window == 5
+        assert sol.projector.max_vectors == 5
+
+    def test_stokes_shim_warns(self):
+        from repro import StokesSolver, box_mesh_2d
+
+        mesh = box_mesh_2d(2, 2, 4)
+        with pytest.warns(DeprecationWarning, match="StokesSolver"):
+            sol = StokesSolver(mesh, pressure_variant="fdm")
+        assert sol.config.pressure_variant == "fdm"
+
+    def test_stokes_default_maxiter_is_preserved(self):
+        from repro import StokesSolver, box_mesh_2d
+
+        mesh = box_mesh_2d(2, 2, 4)
+        assert StokesSolver(mesh).maxiter == 400
+        assert StokesSolver(mesh, config=SolverConfig(maxiter=77)).maxiter == 77
+
+    def test_config_path_emits_no_warning(self):
+        from repro import NavierStokesSolver, VelocityBC, box_mesh_2d
+
+        mesh = box_mesh_2d(2, 2, 4, periodic=(True, True))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            NavierStokesSolver(mesh, re=10.0, dt=0.1,
+                               bc=VelocityBC.none(mesh),
+                               config=SolverConfig(projection_window=5))
+
+
+@pytest.fixture(scope="module")
+def table2_fast_case():
+    from repro.workloads.cylinder_model import Table2Case
+
+    return Table2Case(level=0, order=3), SolverConfig(maxiter=300)
+
+
+# ---------------------------------------------------------------------------
+# Facade constructors
+# ---------------------------------------------------------------------------
+class TestFacades:
+    def test_poisson_solver_cache_shares_instance(self):
+        from repro.core.mesh import box_mesh_2d
+        from repro.service import FactorCache
+
+        mesh = box_mesh_2d(2, 2, 5)
+        cache = FactorCache()
+        a = poisson_solver(mesh, cache=cache)
+        b = poisson_solver(mesh, cache=cache)
+        assert a is b
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_poisson_solver_without_cache_builds_fresh(self):
+        from repro.core.mesh import box_mesh_2d
+
+        mesh = box_mesh_2d(2, 2, 5)
+        assert poisson_solver(mesh) is not poisson_solver(mesh)
+
+    def test_table2_case_facade(self):
+        from repro.service import FactorCache
+
+        cache = FactorCache()
+        a = table2_case(level=0, order=3, cache=cache)
+        b = table2_case(level=0, order=3, cache=cache)
+        assert a.mesh is b.mesh and a.pop is b.pop
+
+
+# ---------------------------------------------------------------------------
+# Deprecation lint: the repo itself must not use the old signatures.
+# ---------------------------------------------------------------------------
+#: constructor name -> keywords now owned by SolverConfig.
+_DEPRECATED_KWARGS = {
+    "NavierStokesSolver": {"projection_window", "pressure_variant",
+                           "pressure_tol", "helmholtz_tol"},
+    "StokesSolver": {"pressure_variant", "velocity_tol", "pressure_tol",
+                     "maxiter"},
+}
+#: keywords that mark a legacy Table2Case.run(...) call.
+_DEPRECATED_RUN_KWARGS = {"variant", "overlap", "use_coarse"}
+
+
+def _callee_name(node: ast.Call):
+    f = node.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+def _lint_file(path: pathlib.Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenses = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _callee_name(node)
+        kw = {k.arg for k in node.keywords if k.arg}
+        if name in _DEPRECATED_KWARGS and kw & _DEPRECATED_KWARGS[name]:
+            offenses.append(
+                f"{path}:{node.lineno}: {name}({sorted(kw & _DEPRECATED_KWARGS[name])})"
+            )
+        if name == "run" and kw & _DEPRECATED_RUN_KWARGS:
+            offenses.append(
+                f"{path}:{node.lineno}: .run({sorted(kw & _DEPRECATED_RUN_KWARGS)})"
+            )
+    return offenses
+
+
+def test_no_in_repo_caller_uses_deprecated_signatures():
+    """src/, benchmarks/, and examples/ must use config=SolverConfig(...).
+
+    tests/ are exempt — the shims themselves are under test there.  The
+    definition sites (the shim parameter lists and resolve_config calls)
+    do not trip the lint because it only inspects *call* keywords on the
+    solver constructors and ``.run``.
+    """
+    offenses = []
+    for root in ("src", "benchmarks", "examples"):
+        for path in sorted((REPO / root).rglob("*.py")):
+            offenses.extend(_lint_file(path))
+    assert not offenses, (
+        "deprecated solver signatures still used in-repo:\n"
+        + "\n".join(offenses)
+    )

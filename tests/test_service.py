@@ -1,0 +1,455 @@
+"""Service layer: FactorCache, CrossRunBatcher, Session.
+
+The load-bearing guarantees under test:
+
+* cache keys are content hashes — a deformed mesh never collides with the
+  rectilinear mesh of the same element counts;
+* concurrent misses on one key build exactly once; LRU eviction respects
+  the byte cap;
+* runs executed concurrently with cross-run batching are **bitwise
+  identical** to the same runs executed solo (matmul backend pinned —
+  see the determinism note in repro/service/batcher.py);
+* per-run reports and the service summary validate against the report
+  schema.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import RunSpec, SolverConfig
+from repro.backends import dispatch as _dispatch
+from repro.backends.dispatch import use_backend
+from repro.core.mesh import box_mesh_2d, map_mesh
+from repro.service import (
+    CrossRunBatcher,
+    FactorCache,
+    ProjectorPool,
+    Session,
+    array_signature,
+    estimate_nbytes,
+    execute,
+    mesh_signature,
+    runner_names,
+)
+
+
+# ---------------------------------------------------------------------------
+# FactorCache
+# ---------------------------------------------------------------------------
+class TestFactorCache:
+    def test_build_once_then_hit(self):
+        cache = FactorCache()
+        calls = []
+        val = cache.get("k", lambda: calls.append(1) or np.zeros(4))
+        again = cache.get("k", lambda: calls.append(1) or np.zeros(4))
+        assert val is again
+        assert calls == [1]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_under_byte_cap(self):
+        kb = np.zeros(128).nbytes  # 1 KiB
+        cache = FactorCache(max_bytes=3 * kb)
+        for name in "abc":
+            cache.get(name, lambda: np.zeros(128))
+        assert cache.keys() == ("a", "b", "c")
+        cache.get("a", lambda: np.zeros(128))  # touch: "b" is now LRU
+        cache.get("d", lambda: np.zeros(128))  # over cap -> evict "b"
+        assert "b" not in cache
+        assert set(cache.keys()) == {"a", "c", "d"}
+        assert cache.stats.evictions == 1
+        assert cache.nbytes <= 3 * kb
+
+    def test_single_over_cap_entry_served_not_retained(self):
+        cache = FactorCache(max_bytes=100)
+        big = cache.get("big", lambda: np.zeros(1000))
+        assert big.shape == (1000,)
+        assert len(cache) == 0
+        assert cache.stats.evictions == 1
+
+    def test_explicit_nbytes_overrides_estimate(self):
+        cache = FactorCache(max_bytes=10_000)
+        cache.get("tiny-looking", lambda: np.zeros(8), nbytes=1)
+        assert cache.as_dict()["bytes"] == 1
+
+    def test_concurrent_misses_build_once(self):
+        cache = FactorCache()
+        built = []
+        gate = threading.Barrier(4)
+
+        def builder():
+            built.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return np.arange(10)
+
+        results = [None] * 4
+
+        def worker(i):
+            gate.wait()
+            results[i] = cache.get("shared", builder)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+        assert all(r is results[0] for r in results)
+        assert cache.stats.misses == 1 and cache.stats.hits == 3
+
+    def test_as_dict_shape(self):
+        d = FactorCache().as_dict()
+        assert set(d) == {"hits", "misses", "evictions", "hit_rate",
+                          "entries", "bytes"}
+
+
+class TestSignatures:
+    def test_deformed_mesh_differs_from_rectilinear(self):
+        rect = box_mesh_2d(3, 3, 5)
+        warped = map_mesh(
+            box_mesh_2d(3, 3, 5),
+            lambda x, y: (x + 0.05 * np.sin(np.pi * y), y),
+        )
+        assert mesh_signature(rect) != mesh_signature(warped)
+
+    def test_identical_rebuild_matches(self):
+        assert mesh_signature(box_mesh_2d(3, 3, 5)) == mesh_signature(
+            box_mesh_2d(3, 3, 5)
+        )
+
+    def test_order_changes_signature(self):
+        assert mesh_signature(box_mesh_2d(3, 3, 5)) != mesh_signature(
+            box_mesh_2d(3, 3, 6)
+        )
+
+    def test_signature_is_memoized(self):
+        mesh = box_mesh_2d(2, 2, 4)
+        sig = mesh_signature(mesh)
+        assert mesh._repro_signature == sig
+        assert mesh_signature(mesh) == sig
+
+    def test_array_signature(self):
+        a = np.arange(6.0)
+        assert array_signature(a) == array_signature(a.copy())
+        assert array_signature(a) != array_signature(a + 1)
+        assert array_signature(None) == "none"
+
+    def test_estimate_nbytes_walks_containers_and_attrs(self):
+        arr = np.zeros(100)  # 800 bytes
+
+        class Holder:
+            def __init__(self):
+                self.a = arr
+                self.b = {"x": arr}  # shared: counted once
+
+        assert estimate_nbytes(Holder()) == arr.nbytes
+        assert estimate_nbytes([arr, np.zeros(10)]) == arr.nbytes + 80
+
+
+# ---------------------------------------------------------------------------
+# CrossRunBatcher
+# ---------------------------------------------------------------------------
+class TestBatcher:
+    def test_two_thread_rendezvous_fuses_and_matches_solo(self):
+        """Two registered threads submitting the same-key apply fuse into
+        one backend call whose pieces equal the solo results bitwise."""
+        op = np.random.default_rng(0).standard_normal((5, 5))
+        fields = [
+            np.random.default_rng(i + 1).standard_normal((4, 5, 5))
+            for i in range(2)
+        ]
+        with use_backend("matmul") as backend:
+            solo = [backend.apply_1d(op, f, 0) for f in fields]
+            batcher = CrossRunBatcher(window_seconds=5.0)
+            results = [None] * 2
+            errors = []
+            gate = threading.Barrier(2)
+
+            def worker(i):
+                batcher.register()
+                prev = _dispatch.set_batch_hook(batcher)
+                try:
+                    gate.wait()  # both registered before either submits
+                    results[i] = _dispatch.apply_1d(op, fields[i], 0)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                finally:
+                    _dispatch.set_batch_hook(prev)
+                    batcher.unregister()
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        for got, want in zip(results, solo):
+            np.testing.assert_array_equal(got, want)
+        assert batcher.stats.submitted == 2
+        assert batcher.stats.backend_calls == 1
+        assert batcher.stats.fused_groups == 1
+        assert batcher.stats.max_occupancy == 2
+
+    def test_solo_thread_does_not_deadlock(self):
+        op = np.eye(4)
+        u = np.arange(3 * 4 * 4, dtype=float).reshape(3, 4, 4)
+        with use_backend("matmul"):
+            batcher = CrossRunBatcher(window_seconds=10.0)
+            batcher.register()
+            prev = _dispatch.set_batch_hook(batcher)
+            try:
+                t0 = time.perf_counter()
+                out = _dispatch.apply_1d(op, u, 1)
+            finally:
+                _dispatch.set_batch_hook(prev)
+                batcher.unregister()
+        # Single registered thread => waiting >= active => immediate flush.
+        assert time.perf_counter() - t0 < 1.0
+        np.testing.assert_array_equal(out, u)
+        assert batcher.stats.max_occupancy == 1
+
+    def test_non_fusable_backend_executes_per_entry(self):
+        op = np.random.default_rng(3).standard_normal((4, 4))
+        fields = [
+            np.random.default_rng(i + 7).standard_normal((2, 4, 4))
+            for i in range(2)
+        ]
+        with use_backend("flat") as backend:
+            solo = [backend.apply_1d(op, f, 0) for f in fields]
+            batcher = CrossRunBatcher(window_seconds=5.0)
+            results = [None] * 2
+
+            def worker(i):
+                batcher.register()
+                prev = _dispatch.set_batch_hook(batcher)
+                try:
+                    results[i] = _dispatch.apply_1d(op, fields[i], 0)
+                finally:
+                    _dispatch.set_batch_hook(prev)
+                    batcher.unregister()
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for got, want in zip(results, solo):
+            np.testing.assert_array_equal(got, want)
+        assert batcher.stats.fused_groups == 0
+        assert batcher.stats.backend_calls == 2
+
+    def test_error_propagates_to_waiter(self):
+        batcher = CrossRunBatcher(window_seconds=5.0)
+        batcher.register()
+        # Malformed entry: args unpacking fails inside the flush, the
+        # exception must surface on the submitting thread.
+        with pytest.raises(Exception):
+            batcher._submit(("a1", 0, (1,), 0), (None,), None)
+        batcher.unregister()
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+def _poisson_specs(n_runs, *, batched=True, n=3, order=5, deformed=False):
+    return [
+        RunSpec(
+            "poisson",
+            params={"n": n, "order": order, "deformed": deformed},
+            config=SolverConfig(tol=1e-8),
+            seed=100 + i,
+            label=f"run{i}",
+            batched=batched,
+        )
+        for i in range(n_runs)
+    ]
+
+
+class TestSession:
+    def test_registered_runners(self):
+        names = runner_names()
+        for expected in ("table2", "poisson", "stokes", "shear_layer"):
+            assert expected in names
+
+    def test_concurrent_batched_runs_bitwise_match_solo(self):
+        """The acceptance-criteria determinism probe: 6 concurrent batched
+        runs produce bitwise-identical solutions to solo execution."""
+        specs = _poisson_specs(6)
+        with use_backend("matmul"):
+            solo = [execute(s) for s in specs]
+            with Session(workers=3) as sess:
+                results = sess.run(specs)
+        for r, s in zip(results, solo):
+            assert r.ok, r.error
+            np.testing.assert_array_equal(r.payload["x"], s["x"])
+            assert r.payload["iterations"] == s["iterations"]
+        assert results[0].payload["converged"]
+
+    def test_unbatched_session_also_matches(self):
+        specs = _poisson_specs(4, batched=False)
+        with use_backend("matmul"):
+            solo = [execute(s) for s in specs]
+            with Session(workers=2, batching=False) as sess:
+                results = sess.run(specs)
+        for r, s in zip(results, solo):
+            np.testing.assert_array_equal(r.payload["x"], s["x"])
+
+    def test_cache_is_shared_across_runs(self):
+        specs = _poisson_specs(5)
+        with use_backend("matmul"), Session(workers=2) as sess:
+            results = sess.run(specs)
+            summary = sess.summary()
+        assert all(r.ok for r in results)
+        assert summary["cache"]["misses"] >= 1
+        assert summary["cache"]["hits"] >= 4  # runs 2..5 reuse the solver
+        assert summary["runs"] == 5 and summary["succeeded"] == 5
+        assert summary["throughput_runs_per_s"] > 0
+
+    def test_deformed_and_rectilinear_runs_use_distinct_entries(self):
+        specs = _poisson_specs(1) + _poisson_specs(1, deformed=True)
+        with use_backend("matmul"), Session(workers=1) as sess:
+            results = sess.run(specs)
+        sigs = {r.payload["mesh_signature"] for r in results}
+        assert len(sigs) == 2
+        solver_keys = [k for k in sess.cache.keys()
+                       if k[0] == "condensed_poisson"]
+        assert len(solver_keys) == 2
+
+    def test_eviction_under_session_memory_cap(self):
+        specs = _poisson_specs(1) + _poisson_specs(1, deformed=True)
+        with use_backend("matmul"):
+            with Session(workers=1, max_cache_bytes=50_000) as sess:
+                results = sess.run(specs)
+                summary = sess.summary()
+        assert all(r.ok for r in results)
+        assert summary["cache"]["evictions"] >= 1
+        assert summary["cache"]["bytes"] <= 50_000
+
+    def test_per_run_reports_validate(self):
+        specs = _poisson_specs(2)
+        with use_backend("matmul"), Session(workers=2) as sess:
+            results = sess.run(specs)
+            service_report = sess.report(meta={"suite": "test"})
+        for r in results:
+            assert r.report is not None
+            obs.validate_report(r.report)
+            meta = r.report["meta"]["service_run"]
+            assert meta["workload"] == "poisson"
+            assert meta["seed"] == r.spec.seed
+            assert meta["ok"] is True
+        obs.validate_report(service_report)
+        svc = service_report["service"]
+        assert svc["runs"] == 2
+        assert set(svc["batching"]) >= {"enabled", "submitted",
+                                        "backend_calls", "fused_groups"}
+
+    def test_failed_run_is_contained(self):
+        from repro.service import register
+
+        @register("test-boom")
+        def _boom(spec, ctx):
+            raise RuntimeError("intentional test failure")
+
+        bad = RunSpec("test-boom")
+        good = _poisson_specs(1)[0]
+        with use_backend("matmul"), Session(workers=2) as sess:
+            results = sess.run([bad, good])
+            summary = sess.summary()
+        assert not results[0].ok
+        assert isinstance(results[0].error, RuntimeError)
+        assert results[1].ok
+        assert summary["failed"] == 1 and summary["succeeded"] == 1
+        with pytest.raises(RuntimeError, match="intentional"):
+            with Session(workers=1) as sess2:
+                sess2.map([bad])
+
+    def test_unknown_workload_raises_helpfully(self):
+        with Session(workers=1) as sess:
+            res = sess.run([RunSpec("no-such-runner")])[0]
+        assert isinstance(res.error, KeyError)
+        assert "no-such-runner" in str(res.error)
+
+    def test_submit_after_close_rejected(self):
+        sess = Session(workers=1)
+        sess.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sess.submit(RunSpec("poisson"))
+
+    def test_shared_projection_accelerates_later_runs(self):
+        """Cross-run projection reuse is opt-in: later table2 runs project
+        onto earlier runs' solutions of the same operator and converge in
+        far fewer iterations (it warm-starts, so iterate trajectories
+        legitimately differ — hence opt-in, not default)."""
+        specs = [
+            RunSpec("table2", params={"level": 0, "order": 3},
+                    config=SolverConfig(pressure_variant="fdm", maxiter=200),
+                    seed=i, share_projection=True, label=f"p{i}")
+            for i in range(3)
+        ]
+        with use_backend("matmul"), Session(workers=1) as sess:
+            results = sess.run(specs)
+        assert all(r.ok for r in results)
+        assert all(r.payload["converged"] for r in results)
+        # The RHS is identical across runs, so the projected residual is
+        # ~zero for runs 2 and 3.
+        assert results[1].payload["iterations"] < results[0].payload["iterations"]
+        assert len(sess.projectors) == 1
+
+    def test_table2_smoke_through_session(self):
+        specs = [
+            RunSpec("table2", params={"level": 0, "order": 3},
+                    config=SolverConfig(pressure_variant="fdm", maxiter=200),
+                    label=v, seed=i)
+            for i, v in enumerate(["a", "b"])
+        ]
+        with use_backend("matmul"), Session(workers=2) as sess:
+            results = sess.run(specs)
+            summary = sess.summary()
+        for r in results:
+            assert r.ok, r.error
+            assert r.payload["converged"]
+        assert results[0].payload["iterations"] == results[1].payload["iterations"]
+        assert summary["cache"]["hits"] >= 1  # mesh/pop/rhs shared
+
+
+class TestProjectorPool:
+    def test_same_key_shares_history(self):
+        pool = ProjectorPool(max_vectors=5)
+        matvec = lambda x: 2.0 * x
+        dot = lambda a, b: float(np.dot(a, b))
+        p1, l1 = pool.acquire("op-A", matvec, dot)
+        p2, l2 = pool.acquire("op-A", matvec, dot)
+        p3, _ = pool.acquire("op-B", matvec, dot)
+        assert p1 is p2 and l1 is l2
+        assert p3 is not p1
+        assert len(pool) == 2
+        assert p1.max_vectors == 5
+
+
+class TestRunScopeIsolation:
+    def test_two_threads_get_private_flop_tallies(self):
+        from repro.perf.flops import add_flops
+
+        tallies = {}
+        gate = threading.Barrier(2)
+
+        def worker(name, amount):
+            with obs.run_scope() as scope:
+                gate.wait()
+                add_flops(amount, "mxm")
+                gate.wait()
+                tallies[name] = scope.counter.total()
+
+        a = threading.Thread(target=worker, args=("a", 100.0))
+        b = threading.Thread(target=worker, args=("b", 7.0))
+        a.start(); b.start(); a.join(); b.join()
+        assert tallies["a"] == 100.0
+        assert tallies["b"] == 7.0
