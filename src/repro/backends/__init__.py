@@ -12,47 +12,73 @@ Layout:
   :class:`Workspace` buffer pool (zero-allocation hot paths),
 * :mod:`repro.backends.numpy_backends` — the ``matmul`` / ``einsum`` /
   ``flat`` kernel family,
+* :mod:`repro.backends.numba_backend`  — optional ``@njit`` compiled
+  small-DGEMM loop nests (registered only when numba imports),
+* :mod:`repro.backends.cupy_backend`   — optional GPU-resident kernels
+  (registered only when cupy imports and a CUDA device is visible),
 * :mod:`repro.backends.dispatch`       — registry, sanitized entry points,
-  flop accounting, and the :class:`AutoTuneDispatcher` (default).
+  flop accounting, the :class:`AutoTuneDispatcher` (default), and the
+  persistent tuning table (``REPRO_TUNING_CACHE``).
 
 Select a backend with ``REPRO_BACKEND=matmul`` in the environment, the CLI
 ``--backend`` flag, or :func:`set_backend` / :func:`use_backend`; inspect
 the tuner with :func:`backend_report`.  See docs/BACKENDS.md.
 """
 
-from .base import KernelBackend, Workspace
+from .base import KERNEL_POINTS, KernelBackend, Workspace
+from .cupy_backend import HAVE_CUPY, CupyBackend
 from .dispatch import (
     AutoTuneDispatcher,
     active_backend,
     apply_1d,
+    apply_tensor,
     available_backends,
     backend_report,
+    backend_tallies,
+    batched_matvec,
     dispatch_choices,
     get_backend,
     grad,
     grad_transpose,
+    machine_fingerprint,
     register_backend,
     set_backend,
+    tuning_cache_path,
+    tuning_stats,
+    unregister_backend,
     use_backend,
 )
+from .numba_backend import HAVE_NUMBA, NumbaBackend
 from .numpy_backends import EinsumBackend, FlattenedBackend, MatmulBackend
 
 __all__ = [
+    "KERNEL_POINTS",
     "KernelBackend",
     "Workspace",
     "AutoTuneDispatcher",
     "MatmulBackend",
     "EinsumBackend",
     "FlattenedBackend",
+    "NumbaBackend",
+    "CupyBackend",
+    "HAVE_NUMBA",
+    "HAVE_CUPY",
     "register_backend",
+    "unregister_backend",
     "available_backends",
     "get_backend",
     "active_backend",
     "set_backend",
     "use_backend",
     "backend_report",
+    "backend_tallies",
     "dispatch_choices",
+    "machine_fingerprint",
+    "tuning_cache_path",
+    "tuning_stats",
     "apply_1d",
+    "apply_tensor",
+    "batched_matvec",
     "grad",
     "grad_transpose",
 ]

@@ -10,9 +10,20 @@ module defines that layer's contract:
 * :class:`KernelBackend` — the protocol every kernel implementation obeys.
   The core operation is :meth:`KernelBackend.apply_1d`: apply a small dense
   operator along one tensor direction of a batched field, optionally into a
-  preallocated output.  ``grad``/``grad_transpose`` have default
-  implementations in terms of ``apply_1d`` but may be overridden by
-  backends with fused variants.
+  preallocated output.  ``grad``/``grad_transpose``/``apply_tensor`` have
+  default implementations in terms of ``apply_1d`` but may be overridden by
+  backends with fused variants — compiled backends override
+  :meth:`KernelBackend.apply_tensor` with a single all-directions kernel
+  that never materializes the intermediate stages in main memory.
+
+Each backend also carries *capability flags*: :meth:`KernelBackend.capabilities`
+reports, per kernel point, whether the backend implements it natively or
+through the composed default, and :meth:`KernelBackend.supports` gates
+which kernel points the dispatcher will route (and micro-benchmark) on
+that backend.  :meth:`KernelBackend.warmup` is the JIT hook: the
+dispatcher calls it once per backend (and performs untimed warm-up calls
+per shape) before any timing, so compilation latency never pollutes the
+auto-tuner's measurements.
 * :class:`Workspace` — a pool of named preallocated buffers so that hot
   loops (operator applies inside a CG iteration) perform no per-apply
   allocations.  Buffers are keyed by ``(name, shape)``; requesting the same
@@ -32,7 +43,10 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["KernelBackend", "Workspace"]
+__all__ = ["KERNEL_POINTS", "KernelBackend", "Workspace"]
+
+#: the protocol's dispatchable kernel points, in protocol order.
+KERNEL_POINTS = ("apply_1d", "batched_matvec", "apply_tensor")
 
 
 class Workspace:
@@ -109,8 +123,48 @@ class KernelBackend(abc.ABC):
     #: registry name; subclasses override.
     name: str = "?"
 
+    #: kernel points this backend refuses outright; the dispatcher never
+    #: times or routes these here (composed defaults make every point
+    #: *implementable*, so this stays empty for the in-tree backends).
+    unsupported: frozenset = frozenset()
+
     def __init__(self) -> None:
         self.workspace = Workspace()
+
+    # ------------------------------------------------------------ capabilities
+    def supports(self, point: str) -> bool:
+        """Whether the dispatcher may route kernel point ``point`` here."""
+        return point not in self.unsupported
+
+    def capabilities(self) -> Dict[str, str]:
+        """Per kernel point: ``"native"``, ``"composed"``, or ``"unsupported"``.
+
+        A point is *native* when the subclass overrides the protocol
+        method, *composed* when it runs through the inherited protocol
+        default (for ``apply_tensor`` that is per-stage ``apply_1d``
+        composition; for ``batched_matvec`` the generic batched
+        ``np.matmul``).  The dispatcher surfaces these flags in
+        :func:`repro.backends.backend_report` so a report reader can tell
+        a fused compiled kernel from a python-level composition.
+        """
+        flags = {}
+        for point in KERNEL_POINTS:
+            if not self.supports(point):
+                flags[point] = "unsupported"
+            elif getattr(type(self), point) is not getattr(KernelBackend, point):
+                flags[point] = "native"
+            else:
+                # apply_1d is abstract: any concrete backend implements it.
+                flags[point] = "native" if point == "apply_1d" else "composed"
+        return flags
+
+    def warmup(self) -> None:
+        """One-time preparation hook (JIT compilation, device context).
+
+        The dispatcher calls this once per backend before the backend's
+        first micro-benchmark, *outside* the timed section; per-shape
+        untimed warm-up calls follow.  Default: no-op.
+        """
 
     @abc.abstractmethod
     def apply_1d(
@@ -169,6 +223,36 @@ class KernelBackend(abc.ABC):
             out = np.empty(mats.shape[:2])
         np.matmul(mats, vecs[:, :, None], out=out.reshape(out.shape + (1,)))
         return out
+
+    def apply_tensor(
+        self,
+        ops: Sequence[Optional[np.ndarray]],
+        u: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """All-directions tensor apply ``(op_t x op_s x op_r) u``.
+
+        ``ops`` has one entry per tensor direction (``ops[0]`` acts along
+        r, the fastest axis); ``None`` entries are identity.  At least one
+        entry is a real operator (the dispatch layer short-circuits the
+        all-identity case).  Default: sequential :meth:`apply_1d` stages
+        ping-ponging through the backend's workspace, final stage into
+        ``out``.  Compiled backends override this with a fused kernel that
+        keeps the per-element intermediates in registers/cache instead of
+        streaming them through main memory.
+        """
+        stages = [(d, op) for d, op in enumerate(ops) if op is not None]
+        cur = u
+        for i, (direction, op) in enumerate(stages):
+            shape = list(cur.shape)
+            shape[cur.ndim - 1 - direction] = op.shape[0]
+            if i == len(stages) - 1:
+                dst = out if out is not None else np.empty(tuple(shape))
+            else:
+                dst = self.workspace.get(f"tens{i % 2}", tuple(shape))
+            self.apply_1d(op, cur, direction, out=dst)
+            cur = dst
+        return cur
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,149 @@
+"""GPU-resident kernel backend via CuPy (optional dependency).
+
+NekRS (PAPERS.md) is the precedent: the same SEM tensor contractions,
+rebuilt GPU-resident.  This backend implements the full
+:class:`~repro.backends.base.KernelBackend` protocol on the device:
+
+* small dense operators are cached on the GPU (they are tiny, immutable
+  at the sanitized boundary, and reused across millions of applies, so
+  one H2D transfer amortizes to nothing),
+* fields are transferred per call — the honest cost of a host-resident
+  caller.  The payoff concentrates in the **fused**
+  :meth:`CupyBackend.apply_tensor`: one H2D transfer, the whole chain of
+  per-direction contractions device-side, one D2H transfer — versus one
+  round trip *per stage* if the composed path ran each ``apply_1d``
+  separately.
+* every kernel point synchronizes before returning, so the auto-tuner's
+  timings measure completed work, not launch latency.
+
+The module imports cleanly without cupy or without a visible GPU
+(``HAVE_CUPY`` is False); :mod:`repro.backends.dispatch` registers the
+backend only when ``import cupy`` succeeds *and* a device is present.
+Flop accounting is unaffected: the analytic tallies live at the dispatch
+boundary, so a GPU apply counts exactly like a CPU one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["HAVE_CUPY", "CupyBackend", "make_backend"]
+
+try:  # pragma: no cover - exercised only on GPU machines
+    import cupy as cp
+
+    cp.cuda.runtime.getDeviceCount()  # raises when no device is visible
+    HAVE_CUPY = True
+except Exception:  # pragma: no cover - ImportError or CUDA runtime error
+    cp = None
+    HAVE_CUPY = False
+
+
+class CupyBackend(KernelBackend):  # pragma: no cover - needs a GPU
+    """Device-resident contractions with host-side protocol semantics.
+
+    Native at every kernel point.  Operator matrices are cached on the
+    device keyed by their bytes (bounded LRU); field data round-trips per
+    call, fused into one round trip for :meth:`apply_tensor`.
+    """
+
+    name = "cupy"
+
+    #: cached device copies of operator matrices (they are < a few KB).
+    _OP_CACHE_MAX = 128
+
+    def __init__(self) -> None:
+        if not HAVE_CUPY:
+            raise RuntimeError(
+                "the cupy backend requires cupy and a visible CUDA device"
+            )
+        super().__init__()
+        self._op_cache: "OrderedDict[bytes, object]" = OrderedDict()
+        self._warm = False
+
+    # --------------------------------------------------------------- helpers
+    def _dev_op(self, op: np.ndarray):
+        """Device copy of a small operator matrix, LRU-cached by content."""
+        key = op.tobytes() + op.shape[0].to_bytes(4, "little")
+        dev = self._op_cache.get(key)
+        if dev is None:
+            dev = cp.asarray(op)
+            self._op_cache[key] = dev
+            if len(self._op_cache) > self._OP_CACHE_MAX:
+                self._op_cache.popitem(last=False)
+        else:
+            self._op_cache.move_to_end(key)
+        return dev
+
+    @staticmethod
+    def _apply_1d_device(d_op, d_u, direction):
+        """One contraction, device arrays in and out (cupy matmul family)."""
+        if direction == 0:
+            return cp.matmul(d_u, d_op.T)
+        if direction == d_u.ndim - 2:
+            shape = d_u.shape
+            flat = d_u.reshape(shape[0], shape[1], -1)
+            res = cp.matmul(d_op, flat)
+            return res.reshape(shape[:1] + (d_op.shape[0],) + shape[2:])
+        # middle direction of a 3-D field
+        K, nt, ns, nr = d_u.shape
+        m = d_op.shape[0]
+        folded = cp.matmul(d_op, d_u.reshape(K * nt, ns, nr))
+        return folded.reshape(K, nt, m, nr)
+
+    # --------------------------------------------------------------- warm-up
+    def warmup(self) -> None:
+        """Initialize the CUDA context and prime the kernel caches."""
+        if self._warm:
+            return
+        u = np.zeros((2, 3, 3))
+        op = np.eye(3)
+        self.apply_1d(op, u, 0)
+        self.apply_1d(op, u, 1)
+        self.batched_matvec(np.zeros((2, 3, 3)), np.zeros((2, 3)))
+        self.apply_tensor((op, op), u)
+        self._warm = True
+
+    # --------------------------------------------------------- kernel points
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        d_res = self._apply_1d_device(self._dev_op(op), cp.asarray(u), direction)
+        cp.cuda.runtime.deviceSynchronize()
+        if out is None:
+            return cp.asnumpy(d_res)
+        d_res.get(out=out)
+        return out
+
+    def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
+        d_res = cp.matmul(cp.asarray(mats), cp.asarray(vecs)[:, :, None])[:, :, 0]
+        cp.cuda.runtime.deviceSynchronize()
+        if out is None:
+            return cp.asnumpy(d_res)
+        cp.ascontiguousarray(d_res).get(out=out)
+        return out
+
+    def apply_tensor(
+        self,
+        ops: Sequence[Optional[np.ndarray]],
+        u: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        # Fused: one H2D for the field, all stages device-side, one D2H.
+        d_cur = cp.asarray(u)
+        for direction, op in enumerate(ops):
+            if op is not None:
+                d_cur = self._apply_1d_device(self._dev_op(op), d_cur, direction)
+        cp.cuda.runtime.deviceSynchronize()
+        if out is None:
+            return cp.asnumpy(d_cur)
+        cp.ascontiguousarray(d_cur).get(out=out)
+        return out
+
+
+def make_backend() -> "CupyBackend":
+    """Build the cupy backend (raises without cupy + a CUDA device)."""
+    return CupyBackend()

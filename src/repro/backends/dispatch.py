@@ -10,7 +10,7 @@ the tuned-kernel layer:
    ``out=`` aliasing the input is rejected.
 2. **Exact flop accounting.**  The analytic ``2 m n (size/n)`` count is
    tallied here, so :mod:`repro.perf.flops` stays correct regardless of
-   which kernel actually ran.
+   which kernel actually ran — CPU, compiled, or GPU.
 3. **Shape-aware dispatch.**  The default :class:`AutoTuneDispatcher` is
    the runtime analogue of the paper's N-specialized unrolled f2/f3
    kernels: the first time a ``(op shape, field shape, direction)``
@@ -19,35 +19,67 @@ the tuned-kernel layer:
    single kernel is superior across all cases" (Section 6), the winner
    genuinely varies with shape.
 
-Selection: ``REPRO_BACKEND`` in the environment (``auto``, ``matmul``,
-``einsum``, ``flat``) or :func:`set_backend` / the ``--backend`` CLI flag.
-:func:`backend_report` exposes the tuner's choices and per-shape hit
-counts for observability.
+Heterogeneous backends are handled honestly:
+
+* **Warm-up / JIT exclusion** — before timing a backend on a shape, the
+  tuner calls :meth:`~repro.backends.base.KernelBackend.warmup` once per
+  backend and performs an untimed warm-up call per shape, so numba JIT
+  compilation and CUDA context creation never pollute the timings.
+* **Capability flags** — a backend that declares a kernel point
+  ``unsupported`` is never timed or routed on it
+  (:meth:`~repro.backends.base.KernelBackend.supports`); the report
+  distinguishes *native* from *composed* implementations.
+* **Persistent tuning table** — tuned winners are written to
+  ``~/.cache/repro/tuning.json`` (override/disable with
+  ``REPRO_TUNING_CACHE``), keyed by a machine fingerprint plus the
+  registered-backend set, so per-shape winners survive process restarts
+  and the service layer's worker pools don't each re-tune.  A table whose
+  fingerprint or backend set doesn't match the running process is
+  ignored.
+
+Selection: ``REPRO_BACKEND`` in the environment (validated at import
+against the registered names) or :func:`set_backend` / the ``--backend``
+CLI flag.  :func:`backend_report` exposes the tuner's choices, per-shape
+hit counts, and per-backend capability flags for observability;
+:func:`backend_tallies` aggregates dispatch counts per backend for the
+run report.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import pathlib
+import platform
 import threading
 import time
+import weakref
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..perf.flops import add_flops
-from .base import KernelBackend, Workspace
+from .base import KERNEL_POINTS, KernelBackend, Workspace
+from .cupy_backend import HAVE_CUPY, CupyBackend
+from .numba_backend import HAVE_NUMBA, NumbaBackend
 from .numpy_backends import EinsumBackend, FlattenedBackend, MatmulBackend
 
 __all__ = [
     "register_backend",
+    "unregister_backend",
     "available_backends",
     "get_backend",
     "active_backend",
     "set_backend",
     "use_backend",
     "backend_report",
+    "backend_tallies",
     "dispatch_choices",
+    "machine_fingerprint",
+    "tuning_cache_path",
+    "tuning_stats",
     "set_batch_hook",
     "batch_hook",
     "AutoTuneDispatcher",
@@ -55,27 +87,63 @@ __all__ = [
     "grad",
     "grad_transpose",
     "batched_matvec",
+    "apply_tensor",
 ]
 
 #: sentinel "direction" used in dispatch keys for batched matvec calls,
 #: where no tensor direction applies (the operator varies per element).
 BATCHED_MATVEC_DIR = -1
 
+#: sentinel "direction" for fused all-directions tensor applies.
+APPLY_TENSOR_DIR = -2
+
 #: name -> backend instance (fixed kernels; the dispatcher sits above them).
 _REGISTRY: Dict[str, KernelBackend] = {}
+
+#: every live dispatcher instance, so registry changes invalidate all of
+#: them (tests and benchmarks build private dispatchers).
+_DISPATCHERS: "weakref.WeakSet[AutoTuneDispatcher]" = weakref.WeakSet()
 
 
 def register_backend(backend: KernelBackend) -> KernelBackend:
     """Register a kernel backend under ``backend.name``.
 
-    Re-registering a name replaces the old instance (useful for tests);
-    the auto-tuner picks up new backends on shapes it has not tuned yet.
+    Re-registering an existing name replaces the instance and invalidates
+    every cached per-shape winner that points at it (the new instance must
+    re-earn those shapes).  Registering a *new* name invalidates all
+    cached winners: every already-tuned shape gets re-benchmarked with
+    the new candidate in the field, and any loaded persistent table is
+    dropped (its backend-set key no longer matches).
     """
     if not backend.name or backend.name == "?":
         raise ValueError("backend must define a non-empty name")
     if backend.name == "auto":
         raise ValueError("'auto' is reserved for the dispatcher")
+    is_new = backend.name not in _REGISTRY
     _REGISTRY[backend.name] = backend
+    for disp in list(_DISPATCHERS):
+        disp.invalidate(backend.name, registry_changed=is_new)
+    return backend
+
+
+def unregister_backend(name: str) -> KernelBackend:
+    """Remove a backend from the registry (e.g. a failed optional backend).
+
+    Every dispatcher drops all cached winners (the candidate set changed,
+    so stale decisions must not survive) and re-tunes on the next call;
+    if the removed backend was the process-wide active one, dispatch
+    falls back to the auto dispatcher.
+    """
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    global _ACTIVE
+    backend = _REGISTRY.pop(name)
+    for disp in list(_DISPATCHERS):
+        disp.invalidate(name, registry_changed=True)
+    if _ACTIVE is backend:
+        _ACTIVE = _DISPATCHER
     return backend
 
 
@@ -96,6 +164,71 @@ def get_backend(name: str) -> KernelBackend:
         ) from None
 
 
+# ---------------------------------------------------------------------------
+# Persistent tuning table: machine fingerprint, cache path, wire format.
+# ---------------------------------------------------------------------------
+def machine_fingerprint() -> str:
+    """A short digest of what tuning timings depend on.
+
+    Hardware/software identity only — hostname and paths stay out so the
+    table is shareable between identical containers.  A persistent table
+    recorded under a different fingerprint is ignored.
+    """
+    raw = "|".join(
+        [
+            platform.machine(),
+            platform.system(),
+            platform.python_implementation(),
+            platform.python_version(),
+            np.__version__,
+            str(os.cpu_count() or 0),
+        ]
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def tuning_cache_path() -> Optional[pathlib.Path]:
+    """Where the persistent tuning table lives, or ``None`` when disabled.
+
+    ``REPRO_TUNING_CACHE`` overrides: ``off``/``0``/``none`` disables
+    persistence, a ``*.json`` path names the file directly, any other
+    value is treated as a directory holding ``tuning.json``.  Default:
+    ``$XDG_CACHE_HOME/repro/tuning.json`` (``~/.cache`` fallback).
+    """
+    env = os.environ.get("REPRO_TUNING_CACHE", "").strip()
+    if env.lower() in ("off", "0", "none", "disabled"):
+        return None
+    if env:
+        p = pathlib.Path(env)
+        return p if p.suffix == ".json" else p / "tuning.json"
+    base = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = pathlib.Path(base) if base else pathlib.Path.home() / ".cache"
+    return root / "repro" / "tuning.json"
+
+
+def _table_key() -> str:
+    """Fingerprint + backend set: the validity domain of stored winners."""
+    return machine_fingerprint() + "+" + ",".join(sorted(_REGISTRY))
+
+
+def _key_to_wire(key: Tuple) -> str:
+    def enc(x):
+        if isinstance(x, tuple):
+            return [enc(e) for e in x]
+        return x
+
+    return json.dumps(enc(key))
+
+
+def _key_from_wire(wire: str) -> Tuple:
+    def dec(x):
+        if isinstance(x, list):
+            return tuple(dec(e) for e in x)
+        return x
+
+    return dec(json.loads(wire))
+
+
 class AutoTuneDispatcher(KernelBackend):
     """Micro-benchmarking dispatcher: per-shape winner, cached per process.
 
@@ -103,96 +236,126 @@ class AutoTuneDispatcher(KernelBackend):
     (warmup + best-of-``reps`` timing per candidate), amortized over the
     millions of applies a simulation performs on that same shape — the same
     economics as the paper's one-time selection of f2/f3 unrollings per N.
+
+    ``persist`` controls the on-disk tuning table: ``True``/``False``
+    force it, ``None`` (default) follows ``REPRO_TUNING_CACHE`` (see
+    :func:`tuning_cache_path`).  Winners load lazily on the first tuning
+    miss and only when the stored machine fingerprint + backend set match
+    the running process; every fresh tuning decision is saved back
+    (atomic replace, best-effort — I/O errors never break dispatch).
     """
 
     name = "auto"
 
-    def __init__(self, reps: int = 3):
+    def __init__(self, reps: int = 3, persist: Optional[bool] = None):
         super().__init__()
         self.reps = int(reps)
+        self.persist = persist
         #: shape signature -> winning backend name
         self.choices: Dict[Tuple, str] = {}
         #: shape signature -> dispatch count (excludes tuning calls)
         self.hits: Dict[Tuple, int] = {}
         #: shape signature -> {backend name: best seconds} from tuning
+        #: (absent for winners loaded from the persistent table)
         self.timings: Dict[Tuple, Dict[str, float]] = {}
+        #: persistence counters: entries loaded from disk, tuned live, saves
+        self.persist_stats: Dict[str, int] = {"loaded": 0, "tuned": 0, "saved": 0}
+        self._loaded_for: Optional[str] = None
+        self._warmed: set = set()
         #: serializes tuning so concurrent service threads neither race on
         #: the choice dicts nor skew each other's micro-benchmarks.
         self._tune_lock = threading.Lock()
+        _DISPATCHERS.add(self)
 
     @staticmethod
     def signature(op: np.ndarray, u: np.ndarray, direction: int) -> Tuple:
         """The (n, K, axis) dispatch key: operator shape, field shape, direction."""
         return (op.shape, u.shape, direction)
 
+    # --------------------------------------------------------- kernel points
     def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
         key = self.signature(op, u, direction)
-        name = self.choices.get(key)
-        if name is None:
-            name = self._tune(key, op, u, direction)
-        self.hits[key] = self.hits.get(key, 0) + 1
-        return _REGISTRY[name].apply_1d(op, u, direction, out=out)
-
-    def _tune(self, key, op, u, direction) -> str:
-        """Time every registered backend on this exact call; cache the winner."""
-        with self._tune_lock:
-            name = self.choices.get(key)
-            if name is not None:  # another thread tuned it while we waited
-                return name
-            return self._tune_locked(key, op, u, direction)
-
-    def _tune_locked(self, key, op, u, direction) -> str:
         shape = list(u.shape)
         shape[u.ndim - 1 - direction] = op.shape[0]
-        scratch = self.workspace.get("tune_out", tuple(shape))
-        best_name, best_t = None, np.inf
-        timings: Dict[str, float] = {}
-        for name, backend in _REGISTRY.items():
-            try:
-                backend.apply_1d(op, u, direction, out=scratch)  # warmup
-                t_min = np.inf
-                for _ in range(self.reps):
-                    t0 = time.perf_counter()
-                    backend.apply_1d(op, u, direction, out=scratch)
-                    t_min = min(t_min, time.perf_counter() - t0)
-            except Exception:  # pragma: no cover - defensive
-                continue
-            timings[name] = t_min
-            if t_min < best_t:
-                best_name, best_t = name, t_min
-        if best_name is None:  # pragma: no cover - registry never empty
-            raise RuntimeError("no kernel backend could handle the call")
-        self.choices[key] = best_name
-        self.timings[key] = timings
-        return best_name
+        backend = self._resolve(
+            key,
+            "apply_1d",
+            lambda b, scratch: b.apply_1d(op, u, direction, out=scratch),
+            tuple(shape),
+        )
+        return backend.apply_1d(op, u, direction, out=out)
 
     def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
         key = (mats.shape, vecs.shape, BATCHED_MATVEC_DIR)
-        name = self.choices.get(key)
-        if name is None:
-            name = self._tune_bmv(key, mats, vecs)
-        self.hits[key] = self.hits.get(key, 0) + 1
-        return _REGISTRY[name].batched_matvec(mats, vecs, out=out)
+        backend = self._resolve(
+            key,
+            "batched_matvec",
+            lambda b, scratch: b.batched_matvec(mats, vecs, out=scratch),
+            mats.shape[:2],
+        )
+        return backend.batched_matvec(mats, vecs, out=out)
 
-    def _tune_bmv(self, key, mats, vecs) -> str:
-        """Per-shape micro-benchmark of the batched-matvec kernels."""
+    def apply_tensor(self, ops, u, out: Optional[np.ndarray] = None):
+        key = (
+            tuple(None if op is None else op.shape for op in ops),
+            u.shape,
+            APPLY_TENSOR_DIR,
+        )
+        shape = list(u.shape)
+        for d, op in enumerate(ops):
+            if op is not None:
+                shape[u.ndim - 1 - d] = op.shape[0]
+        backend = self._resolve(
+            key,
+            "apply_tensor",
+            lambda b, scratch: b.apply_tensor(ops, u, out=scratch),
+            tuple(shape),
+        )
+        return backend.apply_tensor(ops, u, out=out)
+
+    # ---------------------------------------------------------------- tuning
+    def _resolve(self, key, point, call, scratch_shape) -> KernelBackend:
+        """The winning backend for ``key``, tuning (or loading) on a miss."""
+        name = self.choices.get(key)
+        backend = _REGISTRY.get(name) if name is not None else None
+        if backend is None:
+            # Covers both a cold signature and a stale winner whose backend
+            # was unregistered after the choice was cached.
+            name = self._tune(key, point, call, scratch_shape)
+            backend = _REGISTRY[name]
+        self.hits[key] = self.hits.get(key, 0) + 1
+        return backend
+
+    def _tune(self, key, point, call, scratch_shape) -> str:
         with self._tune_lock:
             name = self.choices.get(key)
-            if name is not None:
-                return name
-            return self._tune_bmv_locked(key, mats, vecs)
+            if name is not None and name in _REGISTRY:
+                return name  # another thread tuned it while we waited
+            self._maybe_load_locked()
+            name = self.choices.get(key)
+            if name is not None and name in _REGISTRY:
+                return name  # the persistent table already knew this shape
+            return self._tune_locked(key, point, call, scratch_shape)
 
-    def _tune_bmv_locked(self, key, mats, vecs) -> str:
-        scratch = self.workspace.get("tune_bmv_out", mats.shape[:2])
+    def _tune_locked(self, key, point, call, scratch_shape) -> str:
+        """Time every capable backend on this exact call; cache the winner."""
+        scratch = self.workspace.get("tune_" + point, scratch_shape)
         best_name, best_t = None, np.inf
         timings: Dict[str, float] = {}
-        for name, backend in _REGISTRY.items():
+        for name, backend in list(_REGISTRY.items()):
+            if not backend.supports(point):
+                continue
             try:
-                backend.batched_matvec(mats, vecs, out=scratch)  # warmup
+                if name not in self._warmed:
+                    backend.warmup()  # one-time JIT / device-context cost
+                    self._warmed.add(name)
+                # Untimed per-shape warm-up: remaining compilation and
+                # cache effects land here, outside the measurement.
+                call(backend, scratch)
                 t_min = np.inf
                 for _ in range(self.reps):
                     t0 = time.perf_counter()
-                    backend.batched_matvec(mats, vecs, out=scratch)
+                    call(backend, scratch)
                     t_min = min(t_min, time.perf_counter() - t0)
             except Exception:  # pragma: no cover - defensive
                 continue
@@ -200,16 +363,115 @@ class AutoTuneDispatcher(KernelBackend):
             if t_min < best_t:
                 best_name, best_t = name, t_min
         if best_name is None:  # pragma: no cover - registry never empty
-            raise RuntimeError("no kernel backend could handle the call")
+            raise RuntimeError(
+                f"no registered kernel backend could handle {point} for "
+                f"signature {key}"
+            )
         self.choices[key] = best_name
         self.timings[key] = timings
+        self.persist_stats["tuned"] += 1
+        self._save_locked()
         return best_name
 
+    # ----------------------------------------------------------- persistence
+    def _persist_enabled(self) -> bool:
+        if self.persist is False:
+            return False
+        return tuning_cache_path() is not None
+
+    def _maybe_load_locked(self) -> None:
+        """Merge winners stored for this (fingerprint, backend set) — once."""
+        if not self._persist_enabled():
+            return
+        key = _table_key()
+        if self._loaded_for == key:
+            return
+        self._loaded_for = key
+        path = tuning_cache_path()
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            return
+        section = doc.get("tables", {}).get(key, {})
+        for wire, name in section.get("entries", {}).items():
+            if name not in _REGISTRY:
+                continue
+            try:
+                sig = _key_from_wire(wire)
+            except (ValueError, TypeError):
+                continue
+            if sig not in self.choices:
+                self.choices[sig] = name
+                self.persist_stats["loaded"] += 1
+
+    def _save_locked(self) -> None:
+        """Write this dispatcher's winners under the current table key.
+
+        Atomic (tmp + replace), best-effort: the section for the current
+        fingerprint + backend set is replaced wholesale (in-memory state is
+        a superset of everything loaded), other sections are preserved.
+        """
+        if not self._persist_enabled():
+            return
+        path = tuning_cache_path()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                doc = {}
+            if not isinstance(doc, dict) or doc.get("version") != 1:
+                doc = {"version": 1, "tables": {}}
+            doc.setdefault("tables", {})[_table_key()] = {
+                "fingerprint": machine_fingerprint(),
+                "backends": sorted(_REGISTRY),
+                "entries": {
+                    _key_to_wire(k): v for k, v in self.choices.items()
+                },
+            }
+            tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+            self.persist_stats["saved"] += 1
+        except OSError:  # pragma: no cover - disk trouble must not break math
+            pass
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate(self, name: str, registry_changed: bool) -> int:
+        """Drop cached winners made stale by a registry change.
+
+        ``registry_changed`` (a name appeared or disappeared): every
+        decision is stale — the candidate set it was made against no
+        longer exists — and any loaded persistent section is forgotten
+        (its backend-set key changed).  Otherwise (same name re-registered
+        with a new instance): only the shapes that name was winning.
+        Returns the number of dropped decisions.
+        """
+        with self._tune_lock:
+            self._warmed.discard(name)
+            if registry_changed:
+                dropped = len(self.choices)
+                self.choices.clear()
+                self.hits.clear()
+                self.timings.clear()
+                self._loaded_for = None
+                return dropped
+            stale = [k for k, v in self.choices.items() if v == name]
+            for k in stale:
+                del self.choices[k]
+                self.hits.pop(k, None)
+                self.timings.pop(k, None)
+            return len(stale)
+
     def reset(self) -> None:
-        """Forget all tuning decisions and hit counts."""
-        self.choices.clear()
-        self.hits.clear()
-        self.timings.clear()
+        """Forget all tuning decisions and hit counts (memory only)."""
+        with self._tune_lock:
+            self.choices.clear()
+            self.hits.clear()
+            self.timings.clear()
+            self._loaded_for = None
 
     def report(self) -> str:
         """Chosen kernel and hit count per tuned shape (observability)."""
@@ -217,12 +479,12 @@ class AutoTuneDispatcher(KernelBackend):
             return "backend dispatcher: no shapes tuned yet"
         lines = [
             "backend dispatcher: chosen kernel per (op shape, field shape, dir)",
-            f"{'op':>12} {'field':>22} {'dir':>3} {'kernel':>8} {'hits':>10}",
+            f"{'op':>24} {'field':>22} {'dir':>3} {'kernel':>8} {'hits':>10}",
         ]
         for key in sorted(self.choices, key=repr):
             op_s, u_s, d = key
             lines.append(
-                f"{str(op_s):>12} {str(u_s):>22} {d:3d} "
+                f"{str(op_s):>24} {str(u_s):>22} {d:3d} "
                 f"{self.choices[key]:>8} {self.hits.get(key, 0):10d}"
             )
         used = sorted(set(self.choices.values()))
@@ -236,6 +498,13 @@ class AutoTuneDispatcher(KernelBackend):
 register_backend(MatmulBackend())
 register_backend(EinsumBackend())
 register_backend(FlattenedBackend())
+
+# Optional compiled backends: auto-registered only when the dependency
+# imports cleanly (and, for cupy, a CUDA device is actually visible).
+if HAVE_NUMBA:
+    register_backend(NumbaBackend())
+if HAVE_CUPY:  # pragma: no cover - needs a GPU
+    register_backend(CupyBackend())
 
 _DISPATCHER = AutoTuneDispatcher()
 
@@ -268,29 +537,53 @@ def use_backend(name: str) -> Iterator[KernelBackend]:
 
 
 def backend_report() -> str:
-    """Dispatcher observability: chosen kernel per shape + hit counts.
+    """Dispatcher observability: capabilities, choices, and hit counts.
 
     When a fixed backend is active the report says so; the dispatcher's
     accumulated choices are still included (it keeps its cache).
     """
-    header = f"active backend: {_ACTIVE.name}"
-    return header + "\n" + _DISPATCHER.report()
+    lines = [f"active backend: {_ACTIVE.name}"]
+    lines.append("registered backends and kernel-point capabilities:")
+    for name in sorted(_REGISTRY):
+        caps = _REGISTRY[name].capabilities()
+        flags = ", ".join(f"{p}={caps[p]}" for p in KERNEL_POINTS)
+        lines.append(f"  {name:>8}: {flags}")
+    lines.append(_DISPATCHER.report())
+    return "\n".join(lines)
+
+
+def _point_of(direction: int) -> str:
+    if direction == BATCHED_MATVEC_DIR:
+        return "batched_matvec"
+    if direction == APPLY_TENSOR_DIR:
+        return "apply_tensor"
+    return "apply_1d"
+
+
+def _jsonify_shape(shape) -> list:
+    """Shape tuples (possibly nested with None, for tensor keys) -> lists."""
+    return [
+        _jsonify_shape(s) if isinstance(s, tuple) else s for s in shape
+    ]
 
 
 def dispatch_choices() -> List[dict]:
     """The tuner's decisions as JSON-ready rows (for ``repro.obs`` reports).
 
     One row per tuned ``(op shape, field shape, direction)`` signature:
-    the winning kernel name and how many dispatches it has served.
+    the winning kernel name, the kernel point (``direction`` is ``-1``
+    for batched matvecs, ``-2`` for fused tensor applies), and how many
+    dispatches it has served.
     """
     rows = []
     for key in sorted(_DISPATCHER.choices, key=repr):
         op_s, u_s, d = key
         rows.append(
             {
-                "op_shape": list(op_s),
+                "op_shape": _jsonify_shape(op_s),
                 "field_shape": list(u_s),
                 "direction": int(d),
+                "point": _point_of(int(d)),
                 "kernel": _DISPATCHER.choices[key],
                 "hits": int(_DISPATCHER.hits.get(key, 0)),
             }
@@ -298,10 +591,48 @@ def dispatch_choices() -> List[dict]:
     return rows
 
 
+def backend_tallies() -> Dict[str, Dict[str, int]]:
+    """Aggregate dispatch counts per winning backend per kernel point.
+
+    The run report's per-backend kernel tallies: for each backend that
+    won at least one tuned shape, how many dispatches it served on each
+    kernel point and how many distinct shapes it owns.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for key, name in _DISPATCHER.choices.items():
+        row = out.setdefault(
+            name, {point: 0 for point in KERNEL_POINTS} | {"shapes": 0}
+        )
+        row[_point_of(int(key[2]))] += int(_DISPATCHER.hits.get(key, 0))
+        row["shapes"] += 1
+    return out
+
+
+def tuning_stats() -> dict:
+    """Persistent-tuning-table counters for the service/report layers."""
+    path = tuning_cache_path()
+    return {
+        "path": str(path) if path is not None else None,
+        "persist": bool(_DISPATCHER._persist_enabled()),
+        "table_key": _table_key(),
+        "entries": len(_DISPATCHER.choices),
+        "loaded_from_disk": int(_DISPATCHER.persist_stats["loaded"]),
+        "tuned_this_process": int(_DISPATCHER.persist_stats["tuned"]),
+        "saves": int(_DISPATCHER.persist_stats["saved"]),
+    }
+
+
 # honor REPRO_BACKEND at import time (CLI --backend overrides later).
 _env = os.environ.get("REPRO_BACKEND", "").strip()
 if _env:
-    set_backend(_env)
+    try:
+        set_backend(_env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BACKEND={_env!r} does not name a registered kernel "
+            f"backend; available: {available_backends()} (optional backends "
+            f"register only when their dependency is installed)"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -322,8 +653,10 @@ def set_batch_hook(hook) -> Optional[object]:
     flop tally — this is the seam
     :class:`repro.service.CrossRunBatcher` uses to gather same-shape
     applies from concurrent runs into one backend call while per-run flop
-    accounting stays exact.  Pass ``None`` to uninstall.  Returns the
-    previously installed hook (or None).
+    accounting stays exact.  Fused :func:`apply_tensor` calls decompose
+    into per-stage ``apply_1d`` hook calls, so hooks never need a third
+    method.  Pass ``None`` to uninstall.  Returns the previously
+    installed hook (or None).
     """
     prev = getattr(_HOOK_TLS, "hook", None)
     _HOOK_TLS.hook = hook
@@ -346,6 +679,19 @@ def _sanitize(a: np.ndarray) -> np.ndarray:
     the per-shape timings (and therefore the tuner's choices) meaningful.
     """
     return np.ascontiguousarray(a, dtype=np.float64)
+
+
+def _check_out(out: np.ndarray, expected: Tuple[int, ...], *inputs) -> None:
+    if out.shape != expected:
+        raise ValueError(f"out has shape {out.shape}, kernel produces {expected}")
+    if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
+        raise ValueError("out must be a C-contiguous float64 array")
+    for a in inputs:
+        if np.may_share_memory(out, a):
+            raise ValueError(
+                "out must not alias the input field (kernels are not "
+                "in-place safe); pass a distinct workspace buffer"
+            )
 
 
 def apply_1d(
@@ -374,17 +720,7 @@ def apply_1d(
     if out is not None:
         expected = list(u.shape)
         expected[axis] = m
-        if out.shape != tuple(expected):
-            raise ValueError(
-                f"out has shape {out.shape}, kernel produces {tuple(expected)}"
-            )
-        if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
-            raise ValueError("out must be a C-contiguous float64 array")
-        if np.may_share_memory(out, u):
-            raise ValueError(
-                "out must not alias the input field (kernels are not "
-                "in-place safe); pass a distinct workspace buffer"
-            )
+        _check_out(out, tuple(expected), u)
     add_flops(2.0 * m * n * (u.size // n), "mxm")
     hook = getattr(_HOOK_TLS, "hook", None)
     if hook is not None:
@@ -403,7 +739,7 @@ def batched_matvec(
     dense ``(m, n)`` block (Schur complements, coupling blocks), so the
     batch cannot collapse onto a shared-operator ``apply_1d``.  Tuning keys
     on ``(mats shape, vecs shape, -1)`` — the dispatcher arbitrates the same
-    kernel family (matmul / einsum / broadcast-reduce) per shape.
+    kernel family (matmul / einsum / broadcast-reduce / compiled) per shape.
     """
     mats = _sanitize(mats)
     vecs = _sanitize(vecs)
@@ -416,20 +752,114 @@ def batched_matvec(
             f"got {vecs.shape}"
         )
     if out is not None:
-        if out.shape != (K, m):
-            raise ValueError(f"out has shape {out.shape}, kernel produces {(K, m)}")
-        if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
-            raise ValueError("out must be a C-contiguous float64 array")
-        if np.may_share_memory(out, vecs) or np.may_share_memory(out, mats):
-            raise ValueError(
-                "out must not alias the inputs (kernels are not in-place "
-                "safe); pass a distinct workspace buffer"
-            )
+        _check_out(out, (K, m), vecs, mats)
     add_flops(2.0 * K * m * n, "mxm")
     hook = getattr(_HOOK_TLS, "hook", None)
     if hook is not None:
         return hook.batched_matvec(mats, vecs, out)
     return _ACTIVE.batched_matvec(mats, vecs, out=out)
+
+
+#: fallback ping-pong buffers for the composed apply_tensor path when the
+#: caller supplies no workspace (per-thread inside Workspace).
+_COMPOSED_WS = Workspace()
+
+
+def apply_tensor(
+    ops: Sequence[Optional[np.ndarray]],
+    u: np.ndarray,
+    workspace: Optional[Workspace] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Validated, flop-counted fused tensor apply ``(op_t x op_s x op_r) u``.
+
+    ``ops`` has one (possibly rectangular) operator per tensor direction,
+    ordered ``(op_r, op_s[, op_t])``; ``None`` entries skip a direction.
+    The exact analytic flop total (the sum over stages of
+    ``2 m n (stage size / n)``) is tallied here in one shot, so the count
+    is identical whether a backend runs the fused kernel or the composed
+    per-stage default.
+
+    Result placement: ``out`` when given; else a ``workspace``-owned
+    buffer when a workspace is given (same ownership contract as the
+    pre-fusion implementation — copy or consume before the next
+    workspace-using call); else a fresh allocation.  With a batch hook
+    installed (service cross-run fusion), the call decomposes into
+    per-stage :func:`apply_1d` entries so hooks observe every contraction.
+    """
+    u = _sanitize(u)
+    ndim = u.ndim - 1
+    if ndim < 1:
+        raise ValueError(f"field must be batched (K, ...), got shape {u.shape}")
+    if len(ops) != ndim:
+        raise ValueError(
+            f"need {ndim} operators for a {ndim}-D field, got {len(ops)}"
+        )
+    ops_s: List[Optional[np.ndarray]] = []
+    for op in ops:
+        if op is None:
+            ops_s.append(None)
+            continue
+        op = _sanitize(op)
+        if op.ndim != 2:
+            raise ValueError(f"operator must be 2-D, got shape {op.shape}")
+        ops_s.append(op)
+    # Stage-wise shape evolution + the exact composed-equivalent flop total.
+    shape = list(u.shape)
+    size = u.size
+    flops = 0.0
+    for d, op in enumerate(ops_s):
+        if op is None:
+            continue
+        axis = u.ndim - 1 - d
+        m, n = op.shape
+        if shape[axis] != n:
+            raise ValueError(
+                f"operator expects extent {n} along direction {d}, "
+                f"field has {shape[axis]}"
+            )
+        flops += 2.0 * m * n * (size // n)
+        size = (size // n) * m
+        shape[axis] = m
+    if all(op is None for op in ops_s):
+        return u
+    result_shape = tuple(shape)
+    if out is not None:
+        _check_out(out, result_shape, u)
+    hook = getattr(_HOOK_TLS, "hook", None)
+    if hook is not None:
+        # Per-stage entries: each tallies its own flops and hits the hook.
+        return _composed_apply_tensor(ops_s, u, workspace, out)
+    add_flops(flops, "mxm")
+    if out is None and workspace is not None:
+        out = workspace.get("apply_tensor_out", result_shape)
+        if np.may_share_memory(out, u):
+            out = np.empty(result_shape)
+    return _ACTIVE.apply_tensor(ops_s, u, out=out)
+
+
+def _composed_apply_tensor(ops_s, u, workspace, out):
+    """Stage-wise apply through the dispatch entries (the hook path)."""
+    ws = workspace if workspace is not None else _COMPOSED_WS
+    stages = [(d, op) for d, op in enumerate(ops_s) if op is not None]
+    cur = u
+    for i, (d, op) in enumerate(stages):
+        shape = list(cur.shape)
+        shape[cur.ndim - 1 - d] = op.shape[0]
+        dst: Optional[np.ndarray]
+        if i == len(stages) - 1:
+            if out is not None:
+                dst = out
+            elif workspace is not None:
+                dst = workspace.get("apply_tensor_out", tuple(shape))
+            else:
+                dst = None
+        else:
+            dst = ws.get(f"pp{i % 2}", tuple(shape))
+        if dst is not None and np.may_share_memory(dst, cur):
+            dst = None  # defensive: never hand a kernel aliasing buffers
+        cur = apply_1d(op, cur, d, out=dst)
+    return cur
 
 
 def grad(d, u, outs=None):

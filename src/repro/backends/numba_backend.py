@@ -1,0 +1,258 @@
+"""Compiled small-DGEMM kernels via numba (optional dependency).
+
+The paper's Table 3 regime — dense operators with N = 4..16 applied to
+long element batches — is exactly where numpy loses: each ``np.matmul`` /
+``np.einsum`` call pays argument parsing, dtype promotion, and BLAS
+dispatch that dwarf the O(N^3)-per-element arithmetic.  The production
+answer (the hand-unrolled f2/f3 Fortran kernels then, NekRS's generated
+OCCA kernels now) is compiled loop nests specialized for small N.  This
+module is that tier for the python reproduction:
+
+* ``@njit(cache=True, fastmath=False)`` loop-nest kernels for every
+  kernel point of the :class:`~repro.backends.base.KernelBackend`
+  protocol.  ``fastmath`` stays **off** so floating-point contraction
+  order is deterministic and parity with the numpy backends holds to
+  1e-13 (see docs/BACKENDS.md for the per-kernel-point parity contract).
+* a **fused** :meth:`NumbaBackend.apply_tensor`: all tensor directions of
+  an element are contracted inside one jitted loop nest, so the
+  inter-stage intermediates live in a small per-call scratch block
+  instead of streaming ``K``-sized arrays through main memory — the
+  traffic the composed numpy path cannot avoid.
+* JIT compilation is hidden from the auto-tuner: the dispatcher calls
+  :meth:`NumbaBackend.warmup` once and performs untimed warm-up calls per
+  shape before timing, and ``cache=True`` persists the compiled kernels
+  across processes.
+
+The module imports cleanly without numba (``HAVE_NUMBA`` is False and
+:func:`make_backend` raises); :mod:`repro.backends.dispatch` registers
+the backend only when the dependency is importable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["HAVE_NUMBA", "NumbaBackend", "make_backend"]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the base-image path
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Stub decorator so the kernel definitions below stay importable."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+# ---------------------------------------------------------------------------
+# Jitted loop nests.  All operands arrive sanitized (C-contiguous float64)
+# from the dispatch boundary; accumulation order is a plain ascending-j
+# loop, identical across shapes, so results are deterministic.
+# ---------------------------------------------------------------------------
+@njit(cache=True, fastmath=False)
+def _contract_last(u2, op, out2):
+    """out2[b, i] = sum_j op[i, j] * u2[b, j] — the fast-axis contraction."""
+    B, n = u2.shape
+    m = op.shape[0]
+    for b in range(B):
+        for i in range(m):
+            acc = 0.0
+            for j in range(n):
+                acc += op[i, j] * u2[b, j]
+            out2[b, i] = acc
+
+
+@njit(cache=True, fastmath=False)
+def _contract_mid(op, u3, out3):
+    """out3[b, i, q] = sum_j op[i, j] * u3[b, j, q] — any slower direction,
+    with the trailing plane flattened to q."""
+    B, n, p = u3.shape
+    m = op.shape[0]
+    for b in range(B):
+        for i in range(m):
+            for q in range(p):
+                out3[b, i, q] = 0.0
+            for j in range(n):
+                c = op[i, j]
+                for q in range(p):
+                    out3[b, i, q] += c * u3[b, j, q]
+
+
+@njit(cache=True, fastmath=False)
+def _batched_matvec(mats, vecs, out):
+    """out[k] = mats[k] @ vecs[k] — per-element small DGEMV."""
+    K, m, n = mats.shape
+    for k in range(K):
+        for i in range(m):
+            acc = 0.0
+            for j in range(n):
+                acc += mats[k, i, j] * vecs[k, j]
+            out[k, i] = acc
+
+
+@njit(cache=True, fastmath=False)
+def _tensor_2d(op_r, op_s, u, work, out):
+    """Fused 2-D tensor apply: out[k] = op_s (op_r u[k]^T)^T per element.
+
+    ``work`` is one (n_s, m_r) scratch block reused across elements — the
+    whole inter-stage intermediate for element k stays in cache.
+    """
+    K, ns, nr = u.shape
+    mr = op_r.shape[0]
+    ms = op_s.shape[0]
+    for k in range(K):
+        for s in range(ns):
+            for i in range(mr):
+                acc = 0.0
+                for j in range(nr):
+                    acc += op_r[i, j] * u[k, s, j]
+                work[s, i] = acc
+        for i2 in range(ms):
+            for i in range(mr):
+                acc = 0.0
+                for j in range(ns):
+                    acc += op_s[i2, j] * work[j, i]
+                out[k, i2, i] = acc
+
+
+@njit(cache=True, fastmath=False)
+def _tensor_3d(op_r, op_s, op_t, u, work1, work2, out):
+    """Fused 3-D tensor apply with two per-call scratch blocks.
+
+    ``work1`` is (n_t, n_s, m_r), ``work2`` is (n_t, m_s, m_r); both are
+    element-sized, reused across the K loop.
+    """
+    K, nt, ns, nr = u.shape
+    mr = op_r.shape[0]
+    ms = op_s.shape[0]
+    mt = op_t.shape[0]
+    for k in range(K):
+        for t in range(nt):
+            for s in range(ns):
+                for i in range(mr):
+                    acc = 0.0
+                    for j in range(nr):
+                        acc += op_r[i, j] * u[k, t, s, j]
+                    work1[t, s, i] = acc
+        for t in range(nt):
+            for i2 in range(ms):
+                for i in range(mr):
+                    acc = 0.0
+                    for j in range(ns):
+                        acc += op_s[i2, j] * work1[t, j, i]
+                    work2[t, i2, i] = acc
+        for i3 in range(mt):
+            for i2 in range(ms):
+                for i in range(mr):
+                    acc = 0.0
+                    for j in range(nt):
+                        acc += op_t[i3, j] * work2[j, i2, i]
+                    out[k, i3, i2, i] = acc
+
+
+def _result_shape(op, u, direction):
+    shape = list(u.shape)
+    shape[u.ndim - 1 - direction] = op.shape[0]
+    return tuple(shape)
+
+
+class NumbaBackend(KernelBackend):
+    """``@njit`` loop-nest kernels specialized for the small-N SEM regime.
+
+    Native at every kernel point, including the fused
+    :meth:`apply_tensor` (no composed stages, no inter-stage main-memory
+    traffic).  Only instantiable when numba is importable.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "the numba backend requires numba; install it or use one of "
+                "the numpy backends"
+            )
+        super().__init__()
+        self._warm = False
+
+    # --------------------------------------------------------------- warm-up
+    def warmup(self) -> None:
+        """Compile every jitted kernel on token inputs (float64 is the only
+        dtype the sanitized boundary ever passes, so one specialization per
+        kernel covers all future calls; ``cache=True`` persists them)."""
+        if self._warm:
+            return
+        u2 = np.zeros((2, 3, 3))
+        u3 = np.zeros((2, 3, 3, 3))
+        op = np.eye(3)
+        _contract_last(u2.reshape(-1, 3), op, np.empty((6, 3)))
+        _contract_mid(op, u2, np.empty_like(u2))
+        _batched_matvec(np.zeros((2, 3, 3)), np.zeros((2, 3)), np.empty((2, 3)))
+        _tensor_2d(op, op, u2, np.empty((3, 3)), np.empty_like(u2))
+        _tensor_3d(op, op, op, u3, np.empty((3, 3, 3)), np.empty((3, 3, 3)),
+                   np.empty_like(u3))
+        self._warm = True
+
+    # --------------------------------------------------------- kernel points
+    def apply_1d(self, op, u, direction, out: Optional[np.ndarray] = None):
+        if out is None:
+            out = np.empty(_result_shape(op, u, direction))
+        m, n = op.shape
+        if direction == 0:
+            _contract_last(u.reshape(-1, n), op, out.reshape(-1, m))
+        else:
+            axis = u.ndim - 1 - direction
+            B = 1
+            for s in u.shape[:axis]:
+                B *= s
+            _contract_mid(op, u.reshape(B, n, -1), out.reshape(B, m, -1))
+        return out
+
+    def batched_matvec(self, mats, vecs, out: Optional[np.ndarray] = None):
+        if out is None:
+            out = np.empty(mats.shape[:2])
+        _batched_matvec(mats, vecs, out)
+        return out
+
+    def apply_tensor(
+        self,
+        ops: Sequence[Optional[np.ndarray]],
+        u: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        # The fused kernels cover the all-directions case; partial applies
+        # (identity entries) fall back to the composed jitted stages.
+        ndim = u.ndim - 1
+        if ndim not in (2, 3) or any(op is None for op in ops):
+            return super().apply_tensor(ops, u, out=out)
+        shape = list(u.shape)
+        for d, op in enumerate(ops):
+            shape[u.ndim - 1 - d] = op.shape[0]
+        if out is None:
+            out = np.empty(tuple(shape))
+        ws = self.workspace
+        if ndim == 2:
+            op_r, op_s = ops
+            work = ws.get("f2", (u.shape[1], op_r.shape[0]))
+            _tensor_2d(op_r, op_s, u, work, out)
+        else:
+            op_r, op_s, op_t = ops
+            nt, ns = u.shape[1], u.shape[2]
+            mr, ms = op_r.shape[0], op_s.shape[0]
+            work1 = ws.get("f3a", (nt, ns, mr))
+            work2 = ws.get("f3b", (nt, ms, mr))
+            _tensor_3d(op_r, op_s, op_t, u, work1, work2, out)
+        return out
+
+
+def make_backend() -> NumbaBackend:
+    """Build the numba backend (raises if numba is unavailable)."""
+    return NumbaBackend()

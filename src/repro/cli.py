@@ -13,10 +13,12 @@
     python -m repro sweep --runs 24 --workers 4    # batched many-run service
     python -m repro serve < specs.jsonl            # JSON-lines run service
 
-Every subcommand accepts a global ``--backend {auto,matmul,einsum,flat}``
-selecting the kernel backend all tensor-product applies route through
-(equivalent to the ``REPRO_BACKEND`` environment variable; see
-docs/BACKENDS.md).
+Every subcommand accepts a global ``--backend NAME`` selecting the kernel
+backend all tensor-product applies route through (equivalent to the
+``REPRO_BACKEND`` environment variable; see docs/BACKENDS.md).  Valid
+names are whatever registered at import — ``auto``/``matmul``/``einsum``/
+``flat`` always, plus ``numba``/``cupy`` when those optional dependencies
+are installed; anything else fails with the available list.
 
 The full benchmark harness (all tables/figures with shape assertions) is
 ``pytest benchmarks/ --benchmark-only``; the CLI offers the fast subset
@@ -475,12 +477,17 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Quick reproductions of Tufo & Fischer (SC'99).",
     )
+    # Validate against what actually registered: optional compiled/GPU
+    # backends (numba, cupy) appear here only when their dependency
+    # imported; an unknown name fails with the real list.
+    from repro.backends import available_backends
+
     parser.add_argument(
         "--backend",
         default=None,
-        choices=["auto", "matmul", "einsum", "flat"],
+        choices=available_backends(),
         help="kernel backend for all tensor applies "
-             "(default: auto, or $REPRO_BACKEND)",
+             "(default: auto, or $REPRO_BACKEND); registered backends only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="package summary")

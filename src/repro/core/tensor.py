@@ -88,27 +88,15 @@ def apply_tensor(
     transfer and the filter).  Pass ``None`` entries to skip a direction
     (identity).
 
-    With a ``workspace``, intermediate stages ping-pong between two pooled
-    buffers instead of allocating; the *returned array is workspace-owned*
-    in that case, so callers must copy or consume it before the next
-    workspace-using call.
+    Routes through the fused ``apply_tensor`` kernel point of the active
+    backend (compiled backends contract all directions in one loop nest;
+    numpy backends run composed per-direction stages) with the exact
+    composed-equivalent flop tally made at the dispatch boundary.
+
+    With a ``workspace`` the *returned array is workspace-owned*, so
+    callers must copy or consume it before the next workspace-using call.
     """
-    ndim = u.ndim - 1
-    if len(ops) != ndim:
-        raise ValueError(f"need {ndim} operators for a {ndim}-D field, got {len(ops)}")
-    out = u
-    stage = 0
-    for direction, op in enumerate(ops):
-        if op is not None:
-            if workspace is not None:
-                shape = list(out.shape)
-                shape[out.ndim - 1 - direction] = np.asarray(op).shape[0]
-                buf = workspace.get(f"pp{stage % 2}", tuple(shape))
-                out = apply_1d(op, out, direction, out=buf)
-                stage += 1
-            else:
-                out = apply_1d(op, out, direction)
-    return out
+    return _dispatch.apply_tensor(ops, u, workspace=workspace)
 
 
 def grad_2d(

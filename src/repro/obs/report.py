@@ -42,12 +42,19 @@ SCHEMA_VERSION = "repro-obs-report/1"
 
 
 def _backend_section() -> dict:
-    """Active backend + per-shape dispatch decisions (import-light)."""
+    """Active backend + per-shape dispatch decisions (import-light).
+
+    ``tallies`` aggregates the choices per winning backend and kernel
+    point (how many dispatches each registered backend actually served) —
+    the per-backend view a report reader needs once compiled/GPU backends
+    can win individual shapes.  Additive key; ``choices`` is unchanged.
+    """
     from ..backends import dispatch as _dispatch
 
     return {
         "active": _dispatch.active_backend().name,
         "choices": _dispatch.dispatch_choices(),
+        "tallies": _dispatch.backend_tallies(),
     }
 
 
@@ -192,6 +199,8 @@ def _validate_choice(c: Any, path: str) -> None:
     _check_type(c["direction"], int, path + ".direction")
     _check_type(c["kernel"], str, path + ".kernel")
     _check_type(c["hits"], int, path + ".hits")
+    if "point" in c:  # additive: the kernel point the direction encodes
+        _check_type(c["point"], str, path + ".point")
 
 
 def validate_report(doc: Any) -> None:
@@ -229,6 +238,19 @@ def validate_report(doc: Any) -> None:
     _check_type(doc["backend"]["choices"], list, "backend.choices")
     for i, c in enumerate(doc["backend"]["choices"]):
         _validate_choice(c, f"backend.choices[{i}]")
+    # additive (schema /1 stays valid without them): per-backend tallies.
+    if "tallies" in doc["backend"]:
+        tallies = doc["backend"]["tallies"]
+        _check_type(tallies, dict, "backend.tallies")
+        for name, row in tallies.items():
+            _check_type(row, dict, f"backend.tallies[{name!r}]")
+            _check_keys(
+                row,
+                ["apply_1d", "batched_matvec", "apply_tensor", "shapes"],
+                f"backend.tallies[{name!r}]",
+            )
+            for k, v in row.items():
+                _check_type(v, int, f"backend.tallies[{name!r}].{k}")
     _check_type(doc["solves"], list, "solves")
     for i, s in enumerate(doc["solves"]):
         _validate_solve(s, f"solves[{i}]")
@@ -313,6 +335,19 @@ def _validate_service(s: Any, path: str) -> None:
     for k in ("submitted", "backend_calls", "fused_groups", "max_occupancy"):
         _check_type(batching[k], int, f"{path}.batching.{k}")
     _check_type(batching["mean_occupancy"], _NUM, path + ".batching.mean_occupancy")
+    if "tuning" in s:  # additive: shared persistent-tuning-table counters
+        tuning = s["tuning"]
+        _check_type(tuning, dict, path + ".tuning")
+        _check_keys(
+            tuning,
+            ["path", "persist", "table_key", "entries", "loaded_from_disk",
+             "tuned_this_process", "saves"],
+            path + ".tuning",
+        )
+        _check_type(tuning["persist"], bool, path + ".tuning.persist")
+        _check_type(tuning["table_key"], str, path + ".tuning.table_key")
+        for k in ("entries", "loaded_from_disk", "tuned_this_process", "saves"):
+            _check_type(tuning[k], int, f"{path}.tuning.{k}")
 
 
 # ---------------------------------------------------------------------------

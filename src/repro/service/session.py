@@ -281,6 +281,10 @@ class Session:
             "throughput_runs_per_s": (len(done) / wall) if wall > 0 else 0.0,
             "cache": self.cache.as_dict(),
             "batching": {"enabled": self.batching, **self.batcher.stats.as_dict()},
+            # All worker threads share the process-global dispatcher, and
+            # its tuned winners persist on disk (REPRO_TUNING_CACHE), so
+            # sibling sessions and restarted services skip re-tuning.
+            "tuning": _dispatch.tuning_stats(),
         }
 
     def report(self, meta: Optional[dict] = None) -> dict:
