@@ -10,7 +10,14 @@ operation count on the statically condensed interface system):
    condensed apply grows like the N^d dofs per element, the standard
    tensor apply carries the extra factor of N.
 
-2. **Table 2 sequence** — the K = 96 -> 384 -> 1536 cylinder refinement
+2. **3-D exponent sweep** — the same measurement on ``box_mesh_3d`` for
+   the tensor-factorized Schur apply versus the dense shell apply it
+   replaces.  The factorized slope must track d = 3 (the dofs per
+   element) while the dense apply squares the ~6N^2 shell (~N^4): the
+   gap is the reason the 3-D tier evaluates the Schur complement through
+   batched 1-D contractions instead of forming it.
+
+3. **Table 2 sequence** — the K = 96 -> 384 -> 1536 cylinder refinement
    at N = 7, run with the condensed E-preconditioner tier and with the
    Schwarz/FDM baseline: iteration counts, setup/solve wall times, and
    (at level 0) tight-tolerance solution parity between the two tiers.
@@ -30,7 +37,7 @@ import pytest
 
 from conftest import fmt_table, write_result
 from repro.api import SolverConfig
-from repro.core.mesh import box_mesh_2d
+from repro.core.mesh import box_mesh_2d, box_mesh_3d
 from repro.core.pressure import PressureOperator
 from repro.perf.flops import counting
 from repro.solvers.cg import pcg
@@ -42,6 +49,10 @@ JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_condensed_so
 
 #: Polynomial orders for the per-element flop-exponent sweep (d = 2).
 SWEEP_NS = [4, 6, 8, 10, 12, 16]
+
+#: Polynomial orders for the 3-D Schur-apply sweep (d = 3; the dense
+#: shell apply at N = 12 already runs 1.5 Mflop/element).
+SWEEP_NS_3D = [4, 6, 8, 10, 12]
 
 #: Cylinder refinement levels benchmarked (K = 96, 384, 1536 at N = 7).
 TABLE2_LEVELS = [0, 1, 2]
@@ -107,6 +118,35 @@ def sweep():
 
 
 @pytest.fixture(scope="module")
+def sweep3d():
+    """Flops/element of the tensor-factorized vs dense 3-D Schur apply."""
+    rows = []
+    for n in SWEEP_NS_3D:
+        mesh = box_mesh_3d(1, 1, 1, n)
+        row = {"N": n}
+        for schur in ("tensor", "dense"):
+            cs = CondensedPoissonSolver(mesh, h0=1.0, schur=schur)
+            rng = np.random.default_rng(12)
+            v = rng.standard_normal((mesh.K, cs.ec.n_b))
+            cs.ec.apply_schur(v)  # warm up the kernel auto-tuner
+            with counting() as fc:
+                cs.ec.apply_schur(v)
+            row[f"{schur}_flops_per_element"] = float(fc.total()) / mesh.K
+            row[f"{schur}_apply_seconds"] = _time_apply(cs.ec.apply_schur, v)
+        rows.append(row)
+    return {
+        "mesh": "box_mesh_3d(1, 1, 1, N)",
+        "rows": rows,
+        "tensor_slope": _fit_slope(
+            SWEEP_NS_3D, [r["tensor_flops_per_element"] for r in rows]
+        ),
+        "dense_slope": _fit_slope(
+            SWEEP_NS_3D, [r["dense_flops_per_element"] for r in rows]
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
 def table2():
     """Iterations and wall times for condensed vs Schwarz/FDM on the
     Table 2 cylinder sequence, plus level-0 solution parity."""
@@ -153,8 +193,9 @@ def table2():
     return {"order": 7, "rows": rows, "level0_parity": parity}
 
 
-def test_generate_condensed_bench(benchmark, sweep, table2):
-    doc = {"exponent_sweep": sweep, "table2": table2}
+def test_generate_condensed_bench(benchmark, sweep, sweep3d, table2):
+    doc = {"exponent_sweep": sweep, "exponent_sweep_3d": sweep3d,
+           "table2": table2}
 
     rows = [
         [
@@ -171,6 +212,22 @@ def test_generate_condensed_bench(benchmark, sweep, table2):
         ["N", "condensed flops/elem", "E-apply flops/elem"],
         rows,
         title="Condensed interface apply vs standard E apply (2-D, K = 4)",
+    )
+    rows3d = [
+        [
+            r["N"],
+            f"{r['tensor_flops_per_element']:.0f}",
+            f"{r['dense_flops_per_element']:.0f}",
+        ]
+        for r in sweep3d["rows"]
+    ]
+    rows3d.append(
+        ["slope", f"{sweep3d['tensor_slope']:.3f}", f"{sweep3d['dense_slope']:.3f}"]
+    )
+    text += "\n" + fmt_table(
+        ["N", "tensor flops/elem", "dense flops/elem"],
+        rows3d,
+        title="Factorized vs dense 3-D Schur apply (K = 1)",
     )
     text += "\n" + fmt_table(
         ["K", "condensed its", "fdm its", "condensed solve s", "fdm solve s"],
@@ -202,14 +259,20 @@ def test_generate_condensed_bench(benchmark, sweep, table2):
     # tier.  Bounds are loose so machine noise cannot flake the suite.
     assert sweep["condensed_slope"] <= 2.3, sweep
     assert sweep["e_apply_slope"] >= 2.8, sweep
+    # 3-D: the factorized apply tracks the N^3 dofs per element, the
+    # dense shell apply the squared ~6N^2 shell.
+    assert sweep3d["tensor_slope"] <= 3.3, sweep3d
+    assert sweep3d["dense_slope"] >= 3.5, sweep3d
     for r in table2["rows"]:
         assert r["condensed_converged"] and r["fdm_converged"], r
     assert table2["level0_parity"]["rel_error"] < 1e-7, table2["level0_parity"]
 
 
-def test_json_is_machine_readable(sweep, table2):
-    doc = {"exponent_sweep": sweep, "table2": table2}
+def test_json_is_machine_readable(sweep, sweep3d, table2):
+    doc = {"exponent_sweep": sweep, "exponent_sweep_3d": sweep3d,
+           "table2": table2}
     JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     loaded = json.loads(JSON_PATH.read_text())
     assert [r["N"] for r in loaded["exponent_sweep"]["rows"]] == SWEEP_NS
+    assert [r["N"] for r in loaded["exponent_sweep_3d"]["rows"]] == SWEEP_NS_3D
     assert [r["K"] for r in loaded["table2"]["rows"]] == [96, 384, 1536]

@@ -38,6 +38,7 @@ __all__ = [
     "resolve_config",
     "DEPRECATED",
     "poisson_solver",
+    "pmg_preconditioner",
     "stokes_solver",
     "navier_stokes_solver",
     "table2_case",
@@ -77,6 +78,12 @@ class SolverConfig:
     velocity_tol: float = 1e-11
     #: successive-RHS projection window L (0 disables; Fig. 4).
     projection_window: int = 20
+    #: p-MG smoother: "jacobi", "chebyshev", or "condensed"
+    #: (Chebyshev-accelerated exact condensed element solves).
+    pmg_smoother: str = "jacobi"
+    #: p-MG coarsest-level solve: "cg" (Jacobi-PCG) or "condensed"
+    #: (interface-only condensed PCG; needs coarsest order >= 2).
+    pmg_coarse: str = "cg"
 
     def replace(self, **changes) -> "SolverConfig":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -208,6 +215,49 @@ def poisson_solver(mesh, h1: float = 1.0, h0: float = 0.0,
     return cache.get(
         ("condensed_poisson", mesh_signature(mesh), float(h1), float(h0)),
         lambda: CondensedPoissonSolver(mesh, h1=h1, h0=h0),
+    )
+
+
+def pmg_preconditioner(mesh, h1: float = 1.0, h0: float = 0.0,
+                       dirichlet_sides=None,
+                       config: Optional[SolverConfig] = None, cache=None):
+    """A :class:`~repro.solvers.pmultigrid.PMultigrid` V-cycle for ``mesh``.
+
+    Builds the p-hierarchy and the preconditioner from the config's
+    ``pmg_smoother`` / ``pmg_coarse`` choices; the condensed coarse solve
+    floors the order schedule at 2 so the coarsest level keeps interior
+    dofs.  Returns ``(pmg, levels)`` — the finest level's
+    :class:`~repro.core.operators.SEMSystem` is ``levels[0].system``, what
+    an outer PCG iterates with.  With a :class:`~repro.service.FactorCache`
+    the hierarchy + preconditioner pair is built once per
+    (mesh, h1, h0, sides, smoother, coarse) and shared.
+    """
+    from .solvers.pmultigrid import PMultigrid, build_p_hierarchy
+
+    config = config if config is not None else SolverConfig()
+    min_order = 2 if (
+        config.pmg_coarse == "condensed" or config.pmg_smoother == "condensed"
+    ) else 1
+
+    def build():
+        levels = build_p_hierarchy(
+            mesh, h1=h1, h0=h0, dirichlet_sides=dirichlet_sides,
+            min_order=min_order,
+        )
+        pmg = PMultigrid(
+            levels, smoother=config.pmg_smoother, coarse=config.pmg_coarse
+        )
+        return pmg, levels
+
+    if cache is None:
+        return build()
+    from .service.cache import mesh_signature
+
+    sides = tuple(dirichlet_sides) if dirichlet_sides is not None else None
+    return cache.get(
+        ("pmg", mesh_signature(mesh), float(h1), float(h0), sides,
+         config.pmg_smoother, config.pmg_coarse),
+        build,
     )
 
 

@@ -52,6 +52,7 @@ import json
 import os
 import pathlib
 import platform
+import tempfile
 import threading
 import time
 import weakref
@@ -431,9 +432,22 @@ class AutoTuneDispatcher(KernelBackend):
                     _key_to_wire(k): v for k, v in self.choices.items()
                 },
             }
-            tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-            os.replace(tmp, path)
+            # Per-writer temp file: a fixed temp name lets two concurrent
+            # service workers interleave writes into the same path before
+            # either replaces — mkstemp gives each writer its own file, and
+            # os.replace keeps the swap atomic.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+                os.replace(tmp_name, path)
+            finally:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass  # already replaced (the normal case)
             self.persist_stats["saved"] += 1
         except OSError:  # pragma: no cover - disk trouble must not break math
             pass

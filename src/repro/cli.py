@@ -11,6 +11,7 @@
     python -m repro report [--steps N]# traced shear-layer run -> JSON report
     python -m repro spmd --executor mp --ranks 4   # distributed CG, real procs
     python -m repro sweep --runs 24 --workers 4    # batched many-run service
+    python -m repro pmg --smoother condensed       # p-MG smoother/coarse tiers
     python -m repro serve < specs.jsonl            # JSON-lines run service
 
 Every subcommand accepts a global ``--backend NAME`` selecting the kernel
@@ -427,6 +428,34 @@ def _cmd_sweep(args) -> int:
     return 0 if not failed else 1
 
 
+def _cmd_pmg(args) -> int:
+    """p-multigrid-preconditioned Poisson solve with selectable tiers."""
+    from repro.api import SolverConfig, pmg_preconditioner
+    from repro.core.mesh import box_mesh_2d, box_mesh_3d
+    from repro.solvers.cg import pcg
+
+    if args.dim == 2:
+        mesh = box_mesh_2d(args.elements, args.elements, args.order)
+    else:
+        mesh = box_mesh_3d(args.elements, args.elements, args.elements,
+                           args.order)
+    config = SolverConfig(pmg_smoother=args.smoother, pmg_coarse=args.coarse)
+    pmg, levels = pmg_preconditioner(mesh, config=config)
+    system = levels[0].system
+    rng = np.random.default_rng(0)
+    b = system.rhs(rng.standard_normal(mesh.local_shape))
+    res = pcg(system.matvec, b, dot=system.dot, precond=pmg,
+              tol=0.0, rtol=args.rtol, maxiter=args.maxiter)
+    orders = " -> ".join(str(lvl.order) for lvl in levels)
+    rel = res.residual_norm / max(res.initial_residual_norm, 1e-300)
+    print(f"p-MG Poisson: {mesh.ndim}-D, K={mesh.K}, N={mesh.order} "
+          f"(orders {orders})")
+    print(f"  smoother={args.smoother}  coarse={args.coarse}")
+    print(f"  iterations={res.iterations}  converged={res.converged}  "
+          f"|r|/|r0|={rel:.2e}")
+    return 0 if res.converged else 1
+
+
 def _cmd_serve(args) -> int:
     """Line-oriented run service: JSON RunSpecs in, JSON results out.
 
@@ -551,6 +580,17 @@ def main(argv=None) -> int:
                     help="batch rendezvous window in seconds")
     pw.add_argument("--out", default=None,
                     help="write the service-level report JSON here")
+    pg = sub.add_parser("pmg", help="p-multigrid-preconditioned Poisson "
+                                    "solve (smoother/coarse tier selection)")
+    pg.add_argument("--dim", type=int, default=3, choices=[2, 3])
+    pg.add_argument("--elements", type=int, default=2,
+                    help="elements per direction")
+    pg.add_argument("--order", type=int, default=6)
+    pg.add_argument("--smoother", default="jacobi",
+                    choices=["jacobi", "chebyshev", "condensed"])
+    pg.add_argument("--coarse", default="cg", choices=["cg", "condensed"])
+    pg.add_argument("--rtol", type=float, default=1e-8)
+    pg.add_argument("--maxiter", type=int, default=200)
     pv = sub.add_parser("serve", help="JSON-lines run service: RunSpec "
                                       "documents on stdin, results on stdout")
     pv.add_argument("--workers", type=int, default=4)
@@ -573,6 +613,7 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "spmd": _cmd_spmd,
         "sweep": _cmd_sweep,
+        "pmg": _cmd_pmg,
         "serve": _cmd_serve,
     }[args.command](args)
 

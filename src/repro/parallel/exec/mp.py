@@ -13,7 +13,9 @@ Transport
 * large ndarrays travel through named ``multiprocessing.shared_memory``
   segments: the sender copies into a fresh segment and sends a header,
   the receiver attaches, copies out, and unlinks — no fixed slab sizing,
-  no chunk protocol, deadlock-free at any message size;
+  no chunk protocol, deadlock-free at any message size; segments carry
+  run-prefixed names so the driver's cleanup can sweep /dev/shm for
+  anything a terminated worker left in flight;
 * pairwise exchanges order sends by rank (lower sends first) and rank
   programs visit neighbors in ascending order — the same deadlock-free
   schedule the simulated substrate uses.
@@ -34,6 +36,7 @@ with terminate-and-join cleanup.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import math
 import multiprocessing as _mp
 import multiprocessing.connection as _mpc
@@ -89,13 +92,37 @@ def _untrack_shm(name: str) -> None:
         pass
 
 
-def _send_payload(conn, payload: Any) -> None:
+class _ShmNamer:
+    """Run-scoped segment names: ``{prefix}r{rank}c{counter}``.
+
+    Ownership of a segment transfers to the receiver, so a segment created
+    for an in-flight message leaks if the timeout path terminates the
+    receiver before it attaches.  Deterministic run-prefixed names let the
+    driver sweep-unlink every survivor in its cleanup path.
+    """
+
+    def __init__(self, prefix: str, rank: int):
+        self.prefix = prefix
+        self.rank = rank
+        self.count = 0
+
+    def __call__(self) -> str:
+        self.count += 1
+        return f"{self.prefix}r{self.rank}c{self.count}"
+
+
+def _send_payload(conn, payload: Any, namer: Optional[_ShmNamer] = None) -> None:
     """Ship a payload: small/other objects inline, large ndarrays via shm."""
     if isinstance(payload, np.ndarray) and payload.nbytes >= SHM_THRESHOLD:
         from multiprocessing import shared_memory
 
         arr = np.ascontiguousarray(payload)
-        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        if namer is not None:
+            shm = shared_memory.SharedMemory(
+                create=True, size=arr.nbytes, name=namer()
+            )
+        else:
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
         np.frombuffer(shm.buf, dtype=arr.dtype, count=arr.size)[:] = arr.ravel()
         name = shm.name
         shm.close()
@@ -135,6 +162,7 @@ class MpComm(Comm):
         peers: Dict[int, Any],
         barrier,
         machine: Machine,
+        shm_prefix: Optional[str] = None,
     ):
         self.rank = rank
         self.size = size
@@ -142,6 +170,9 @@ class MpComm(Comm):
         self._barrier = barrier
         self.machine = machine
         self._stats = CommStats(rank=rank)
+        self._shm_namer = (
+            _ShmNamer(shm_prefix, rank) if shm_prefix is not None else None
+        )
 
     # ------------------------------------------------------------- protocol ops
     def compute(self, flops: float, mxm_fraction: float = 1.0) -> None:
@@ -158,11 +189,11 @@ class MpComm(Comm):
         conn = self.peers[peer]
         with _Timer() as t:
             if self.rank < peer:
-                _send_payload(conn, payload)
+                _send_payload(conn, payload, self._shm_namer)
                 out = _recv_payload(conn)
             else:
                 out = _recv_payload(conn)
-                _send_payload(conn, payload)
+                _send_payload(conn, payload, self._shm_namer)
         self._stats.phase("exchange").add(1, w, t.dt, self.machine.msg_time(w))
         return out
 
@@ -177,7 +208,7 @@ class MpComm(Comm):
         out = None
         with _Timer() as t:
             if dest is not None:
-                _send_payload(self.peers[dest], payload)
+                _send_payload(self.peers[dest], payload, self._shm_namer)
             if source is not None:
                 out = _recv_payload(self.peers[source])
         modeled = 0.0
@@ -203,9 +234,9 @@ class MpComm(Comm):
             ]
             result = reduce_in_rank_order(contribs, op)
             for r in range(1, self.size):
-                _send_payload(self.peers[r], result)
+                _send_payload(self.peers[r], result, self._shm_namer)
             return result
-        _send_payload(self.peers[0], value)
+        _send_payload(self.peers[0], value, self._shm_namer)
         return _recv_payload(self.peers[0])
 
     def allreduce(self, value: Any, op: str = "+") -> Any:
@@ -261,6 +292,7 @@ def _worker_main(
     result_conn,
     seed_base: str,
     obs_enabled: bool,
+    shm_prefix: Optional[str] = None,
 ) -> None:
     try:
         seed = derive_rank_seed(seed_base, rank)
@@ -275,7 +307,7 @@ def _worker_main(
         else:
             obs.disable()
 
-        comm = MpComm(rank, size, peers, barrier, machine)
+        comm = MpComm(rank, size, peers, barrier, machine, shm_prefix=shm_prefix)
         result = program(comm, *args)
 
         obs_doc = None
@@ -297,6 +329,33 @@ def _worker_main(
             pass
 
 
+#: monotonic run id making default shm prefixes unique across run_mp calls
+#: in one parent process (pid alone would collide on back-to-back runs).
+_RUN_COUNTER = itertools.count()
+
+
+def _sweep_shm(prefix: str) -> None:
+    """Unlink any /dev/shm segments left by a run using ``prefix`` names.
+
+    Terminated workers (timeout/crash) can die between creating a segment
+    and the receiver's unlink; because every segment a run creates is named
+    under its prefix, the parent can reclaim them all after cleanup.  A
+    no-op on platforms without a /dev/shm filesystem.
+    """
+    if not os.path.isdir("/dev/shm"):
+        return  # pragma: no cover - non-Linux
+    try:
+        leftovers = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - race with teardown
+        return
+    for name in leftovers:
+        if name.startswith(prefix):
+            try:
+                os.unlink(os.path.join("/dev/shm", name))
+            except OSError:  # pragma: no cover - concurrent unlink
+                pass
+
+
 def _start_method() -> str:
     configured = os.environ.get("REPRO_MP_START")
     if configured:
@@ -313,6 +372,7 @@ def run_mp(
     timeout: Optional[float] = 600.0,
     seed_base: Optional[str] = None,
     obs_enabled: Optional[bool] = None,
+    shm_prefix: Optional[str] = None,
 ) -> Tuple[List[Any], List[CommStats], List[Optional[dict]], float]:
     """Execute ``program(comm, *rank_args[r])`` on ``ranks`` real processes.
 
@@ -320,9 +380,16 @@ def run_mp(
     Raises :class:`SPMDWorkerError` if any rank fails and
     :class:`SPMDTimeoutError` (after terminating every worker — the orphan
     guard) if the run exceeds ``timeout`` seconds.
+
+    ``shm_prefix`` names every shared-memory segment the run creates
+    (``{prefix}r{rank}c{n}``), which lets cleanup sweep /dev/shm for
+    segments a terminated worker left behind.  The default is unique per
+    run; pass an explicit prefix to make the sweep observable in tests.
     """
     if len(rank_args) != ranks:
         raise ValueError(f"need {ranks} per-rank argument tuples, got {len(rank_args)}")
+    if shm_prefix is None:
+        shm_prefix = f"repro-mp-{os.getpid()}-{next(_RUN_COUNTER)}-"
     if seed_base is None:
         seed_base = os.environ.get("REPRO_TEST_SEED", "repro-spmd")
     if obs_enabled is None:
@@ -363,6 +430,7 @@ def run_mp(
                 result_child[r],
                 seed_base,
                 obs_enabled,
+                shm_prefix,
             ),
             name=f"spmd-mp-{r}",
             daemon=True,
@@ -381,6 +449,9 @@ def run_mp(
             if proc.is_alive():  # pragma: no cover - last resort
                 proc.kill()
                 proc.join(timeout=5.0)
+        # Reclaim segments a terminated worker created but nobody unlinked
+        # (the receiver owns the unlink on the happy path).
+        _sweep_shm(shm_prefix)
 
     deadline = None if timeout is None else time.monotonic() + timeout
     results: List[Any] = [None] * ranks

@@ -183,47 +183,59 @@ class FactorCache:
             build_lock = self._building.get(key)
             if build_lock is None:
                 build_lock = self._building[key] = threading.Lock()
-        with build_lock:
-            # Re-check: another thread may have finished the build while
-            # we waited on its lock.
-            with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
+        try:
+            with build_lock:
+                # Re-check: another thread may have finished the build while
+                # we waited on its lock.
+                with self._lock:
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        self._entries.move_to_end(key)
+                        self.stats.hits += 1
+                        return entry.value
+                value = builder()
+                size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+                with self._lock:
+                    self.stats.misses += 1
+                    self._entries[key] = _Entry(value, size)
                     self._entries.move_to_end(key)
-                    self.stats.hits += 1
-                    return entry.value
-            value = builder()
-            size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+                    self._evict_locked()
+                return value
+        finally:
+            # Always retire the per-key build lock — a raising builder must
+            # not leave it resident (a long-running service with failing
+            # runs would grow ``_building`` without bound).
             with self._lock:
-                self.stats.misses += 1
-                self._entries[key] = _Entry(value, size)
-                self._entries.move_to_end(key)
-                self._evict_locked()
                 self._building.pop(key, None)
-            return value
 
     def _evict_locked(self) -> None:
         if self.max_bytes is None:
             return
-        while len(self._entries) > 1 and self.nbytes > self.max_bytes:
+        while len(self._entries) > 1 and self._nbytes_locked() > self.max_bytes:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         # A single over-cap entry is dropped too (served, not retained).
-        if len(self._entries) == 1 and self.nbytes > self.max_bytes:
+        if len(self._entries) == 1 and self._nbytes_locked() > self.max_bytes:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def _nbytes_locked(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def nbytes(self) -> int:
         """Summed size estimate of resident entries."""
-        return sum(e.nbytes for e in self._entries.values())
+        with self._lock:
+            return self._nbytes_locked()
 
     def keys(self) -> Tuple[Hashable, ...]:
         with self._lock:
@@ -241,6 +253,6 @@ class FactorCache:
             "misses": int(self.stats.misses),
             "evictions": int(self.stats.evictions),
             "hit_rate": float(self.stats.hit_rate),
-            "entries": len(self._entries),
+            "entries": len(self),
             "bytes": int(self.nbytes),
         }

@@ -51,6 +51,7 @@ from .schwarz import element_lengths, element_line_operators
 from .static_condensation import (
     DenseInteriorSolver,
     ElementCondensation,
+    TensorElementCondensation,
     TensorInteriorSolver,
     dense_element_matrices,
     rectilinear_extents,
@@ -109,6 +110,16 @@ class CondensedPoissonSolver:
     interior:
         ``"auto"`` (tensor fast-diagonalization when the mesh is
         rectilinear, dense Cholesky otherwise), ``"tensor"`` or ``"dense"``.
+    schur:
+        Per-iteration Schur-apply form.  ``"auto"`` picks the
+        tensor-factorized :class:`TensorElementCondensation` on 3-D
+        rectilinear meshes with scalar coefficients — ``O(N^d)`` per
+        element instead of the dense shell apply's ``O(N^{2d-2})``, and no
+        ``O(n_loc^2)``-memory dense probe at setup — and the dense
+        :class:`ElementCondensation` otherwise (2-D, where the dense shell
+        apply is already linear, and deformed 3-D geometry).  ``"tensor"``
+        and ``"dense"`` force the choice (``"dense"`` keeps the dense 3-D
+        path constructible for benchmarking).
     """
 
     def __init__(
@@ -119,11 +130,14 @@ class CondensedPoissonSolver:
         dirichlet_sides: Optional[list] = None,
         geom: Optional[GeomFactors] = None,
         interior: str = "auto",
+        schur: str = "auto",
     ):
         if mesh.order < 2:
             raise ValueError("static condensation needs order >= 2 (interior dofs)")
         if interior not in ("auto", "tensor", "dense"):
             raise ValueError(f"unknown interior mode {interior!r}")
+        if schur not in ("auto", "tensor", "dense"):
+            raise ValueError(f"unknown schur mode {schur!r}")
         self.mesh = mesh
         geom = geom if geom is not None else geometric_factors(mesh)
         self.op = HelmholtzOperator(mesh, h1, h0, geom)
@@ -141,25 +155,52 @@ class CondensedPoissonSolver:
         K = mesh.K
         block = mesh.local_shape[1:]
         with trace("condensed_setup"):
-            mats = dense_element_matrices(self.op.apply, K, block)
             hs = rectilinear_extents(mesh)
             scalar = np.isscalar(h1) and np.isscalar(h0)
-            use_tensor = (
-                interior == "tensor"
-                or (interior == "auto" and hs is not None and scalar)
+            separable = hs is not None and scalar
+            use_tensor_schur = schur == "tensor" or (
+                schur == "auto" and mesh.ndim == 3 and separable and interior != "dense"
             )
-            if use_tensor:
-                if hs is None or not scalar:
+            if use_tensor_schur:
+                if mesh.ndim != 3:
+                    raise ValueError("tensor-factorized Schur applies are 3-D only")
+                if not separable:
                     raise ValueError(
-                        "tensor interior solves need a rectilinear mesh and "
-                        "scalar coefficients"
+                        "tensor-factorized Schur applies need a rectilinear "
+                        "mesh and scalar coefficients"
                     )
-                isolve = TensorInteriorSolver(hs, mesh.order, h1=float(h1), h0=float(h0))
+                if interior == "dense":
+                    raise ValueError(
+                        "schur='tensor' implies tensor interior solves; "
+                        "interior='dense' conflicts"
+                    )
+                # Never forms element matrices at all: the factorized form is
+                # built directly from the 1-D reference operators.
+                self.ec = TensorElementCondensation(
+                    hs, mesh.order, h1=float(h1), h0=float(h0)
+                )
+                use_tensor = True
             else:
-                _, i_idx = shell_split(block)
-                isolve = DenseInteriorSolver(mats[:, i_idx[:, None], i_idx[None, :]])
-            self.ec = ElementCondensation(mats, block, interior_solver=isolve)
+                mats = dense_element_matrices(self.op.apply, K, block)
+                use_tensor = (
+                    interior == "tensor"
+                    or (interior == "auto" and separable)
+                )
+                if use_tensor:
+                    if not separable:
+                        raise ValueError(
+                            "tensor interior solves need a rectilinear mesh and "
+                            "scalar coefficients"
+                        )
+                    isolve = TensorInteriorSolver(
+                        hs, mesh.order, h1=float(h1), h0=float(h0)
+                    )
+                else:
+                    _, i_idx = shell_split(block)
+                    isolve = DenseInteriorSolver(mats[:, i_idx[:, None], i_idx[None, :]])
+                self.ec = ElementCondensation(mats, block, interior_solver=isolve)
         self.interior_kind = "tensor" if use_tensor else "dense"
+        self.schur_kind = "tensor" if use_tensor_schur else "dense"
 
         # Assembled interface: compressed global numbering of the shell dofs
         # plus the free/constrained factor restricted to the shell.
@@ -171,10 +212,9 @@ class CondensedPoissonSolver:
             ~self.mask.constrained.reshape(K, -1)[:, self.ec.b_idx]
         ).astype(float)
 
-        # Jacobi preconditioner from the assembled Schur diagonal.
-        dia = self.iface.dssum(
-            np.ascontiguousarray(np.einsum("kii->ki", self.ec.schur))
-        )
+        # Jacobi preconditioner from the assembled Schur diagonal (the
+        # tensor condensation computes it without ever forming S).
+        dia = self.iface.dssum(self.ec.schur_diagonal())
         dia = dia * self._b_factor + (1.0 - self._b_factor)
         if np.any(dia <= 0):
             raise ValueError("condensed interface diagonal is not positive")
@@ -190,8 +230,9 @@ class CondensedPoissonSolver:
         """Assembled condensed operator on interface data ``(K, n_b)``.
 
         ``mask . dssum . blockdiag(S^k)`` — the matvec PCG iterates with.
-        One dispatched batched DGEMV: ``2 K n_b^2`` flops, ``O(N^d)`` per
-        element in 2-D.
+        Dense Schur: one dispatched batched DGEMV, ``2 K n_b^2`` flops
+        (``O(N^d)`` per element in 2-D).  Tensor-factorized Schur (3-D
+        rectilinear): batched 1-D contractions, ``O(N^d)`` per element.
         """
         su = self.ec.apply_schur(u_b, out=self._ws.get("schur_u", u_b.shape))
         w = self.iface.dssum(su, out=out)

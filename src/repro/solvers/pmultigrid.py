@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..backends import dispatch as _dispatch
 from ..core.assembly import Assembler, DirichletMask
 from ..core.basis import interpolation_matrix
 from ..core.element import geometric_factors
@@ -38,6 +39,8 @@ from ..core.quadrature import gll_points
 from ..core.tensor import apply_tensor
 from ..obs.trace import trace
 from ..perf.flops import add_flops
+from .chebyshev import ChebyshevSmoother, estimate_extreme_eigenvalues
+from .static_condensation import ElementCondensation, dense_element_matrices
 
 __all__ = ["PLevel", "build_p_hierarchy", "PMultigrid"]
 
@@ -52,6 +55,13 @@ class PLevel:
     #: interpolation from this (coarser) level up to the next finer one;
     #: None on the finest level.
     prolong_1d: Optional[np.ndarray] = None
+    #: the level's local (unassembled) operator and the problem data it was
+    #: built from — what the condensed smoother/coarse tiers need to probe
+    #: element blocks and rebuild a condensed solver at this order.
+    op: Optional[HelmholtzOperator] = None
+    h1: float = 1.0
+    h0: float = 0.0
+    dirichlet_sides: Optional[list] = None
 
 
 def _rebuild_mesh(mesh: Mesh, order: int) -> Mesh:
@@ -81,20 +91,25 @@ def build_p_hierarchy(
     h0: float = 0.0,
     dirichlet_sides: Optional[list] = None,
     orders: Optional[Sequence[int]] = None,
+    min_order: int = 1,
 ) -> List[PLevel]:
-    """SEMSystem levels at orders ``N, N/2, ..., 1`` (finest first).
+    """SEMSystem levels at orders ``N, N/2, ..., min_order`` (finest first).
 
     Geometry is re-interpolated per level (isoparametric consistency); the
-    masks follow the same Dirichlet sides on every level.
+    masks follow the same Dirichlet sides on every level.  ``min_order``
+    floors the default order schedule — the condensed tiers need interior
+    dofs, i.e. every condensed level at order >= 2.
     """
+    if min_order < 1:
+        raise ValueError("min_order must be >= 1")
     if orders is None:
         orders = []
         n = mesh.order
-        while n >= 1:
+        while n >= min_order:
             orders.append(n)
-            if n == 1:
+            if n == min_order:
                 break
-            n = max(1, n // 2)
+            n = max(min_order, n // 2)
     orders = list(orders)
     if orders[0] != mesh.order:
         raise ValueError("hierarchy must start at the mesh's own order")
@@ -116,7 +131,17 @@ def build_p_hierarchy(
             lvl_mesh, Assembler.for_mesh(lvl_mesh), mask, op.apply, op.diagonal
         )
         dia = system.diagonal()
-        levels.append(PLevel(order=n, system=system, inv_diagonal=1.0 / dia))
+        levels.append(
+            PLevel(
+                order=n,
+                system=system,
+                inv_diagonal=1.0 / dia,
+                op=op,
+                h1=h1,
+                h0=h0,
+                dirichlet_sides=dirichlet_sides,
+            )
+        )
     # 1-D prolongation matrices between consecutive levels.
     for i in range(1, len(levels)):
         coarse, fine = levels[i], levels[i - 1]
@@ -124,6 +149,66 @@ def build_p_hierarchy(
             gll_points(coarse.order), gll_points(fine.order)
         )
     return levels
+
+
+class _CondensedSmoother:
+    """Condensed exact element-block solves as a p-MG smoother.
+
+    The NekRS-style local-solve smoother: each element's full local block
+    is solved exactly by static condensation (interior by Cholesky/fast
+    diagonalization inside :class:`ElementCondensation`, shell by a
+    pseudo-inverted Schur complement — floating elements carry a constant
+    nullspace when ``h0 = 0``), combined as the multiplicity-weighted
+    additive Schwarz
+
+        M = mask . C . dssum . blkdiag(A_k^+) . C,    C = diag(1/mult).
+
+    In unique-dof coordinates this is ``D (Q^T L Q) D`` with ``L``
+    symmetric PSD, so the smoother is symmetric PSD in the system's inner
+    product and safe under PCG.
+    """
+
+    def __init__(self, level: PLevel):
+        system = level.system
+        mesh = system.mesh
+        if mesh.order < 2:
+            raise ValueError(
+                f"condensed smoothing needs order >= 2, level has {mesh.order}"
+            )
+        if level.op is None:
+            raise ValueError(
+                "hierarchy level carries no local operator; rebuild it with "
+                "build_p_hierarchy"
+            )
+        K = mesh.K
+        block = mesh.local_shape[1:]
+        mats = dense_element_matrices(level.op.apply, K, block)
+        self.ec = ElementCondensation(mats, block)
+        # Pseudo-invert the per-element Schur complements (rank-deficient
+        # exactly on floating pure-Neumann element blocks).
+        w, v = np.linalg.eigh(self.ec.schur)
+        cut = 1e-10 * np.maximum(w.max(axis=1), 1.0)
+        w_inv = np.where(
+            w > cut[:, None], 1.0 / np.where(w > cut[:, None], w, 1.0), 0.0
+        )
+        self.s_pinv = np.ascontiguousarray(np.einsum("kib,kb,kjb->kij", v, w_inv, v))
+        self.system = system
+        self._c = system.assembler._inv_mult
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """``M r`` — one weighted additive-Schwarz pass of exact block solves."""
+        ec = self.ec
+        w = (r * self._c).reshape(self.system.mesh.K, -1)
+        r_b = np.ascontiguousarray(w[:, ec.b_idx])
+        r_i = np.ascontiguousarray(w[:, ec.i_idx])
+        g_b, _ = ec.condense_rhs(r_b, r_i)
+        u_b = _dispatch.batched_matvec(self.s_pinv, g_b)
+        u_i = ec.back_substitute(u_b, r_i)
+        e = ec.merge(u_b, u_i).reshape(r.shape)
+        e = self.system.assembler.dssum(e)
+        e *= self._c
+        add_flops(3.0 * e.size, "pointwise")
+        return self.system.mask.apply(e)
 
 
 class PMultigrid:
@@ -134,12 +219,27 @@ class PMultigrid:
     levels:
         Finest-first level list.
     n_smooth:
-        Pre- and post-smoothing sweeps (damped Jacobi).
+        Pre- and post-smoothing sweeps.
     omega:
-        Jacobi damping (2/3 is the classical high-frequency choice).
+        Jacobi smoother damping (2/3 is the classical high-frequency
+        choice; unused by the chebyshev/condensed smoothers, which size
+        their own intervals from a Lanczos estimate).
     coarse_iters:
-        CG iterations for the coarsest-level solve (small systems converge
+        Iteration cap for the coarsest-level solve (small systems converge
         in a handful; exactness is not required of a preconditioner).
+    smoother:
+        ``"jacobi"`` (damped point Jacobi), ``"chebyshev"`` (k-step
+        Chebyshev on the Jacobi-preconditioned operator) or ``"condensed"``
+        (Chebyshev-accelerated additive Schwarz of exact condensed element
+        solves, the NekRS smoother shape; every smoothed level needs order
+        >= 2 — build the hierarchy with ``min_order=2``).
+    coarse:
+        ``"cg"`` (Jacobi-PCG on the assembled coarsest system) or
+        ``"condensed"`` (interface-only PCG of
+        :class:`~repro.solvers.condensed.CondensedPoissonSolver`; needs
+        the coarsest order >= 2 and a non-singular level problem).
+    cheb_degree:
+        Matvecs per Chebyshev application (``smoother="chebyshev"``).
     """
 
     def __init__(
@@ -148,13 +248,39 @@ class PMultigrid:
         n_smooth: int = 2,
         omega: float = 2.0 / 3.0,
         coarse_iters: int = 50,
+        smoother: str = "jacobi",
+        coarse: str = "cg",
+        cheb_degree: int = 3,
     ):
         if not levels:
             raise ValueError("empty hierarchy")
+        if smoother not in ("jacobi", "chebyshev", "condensed"):
+            raise ValueError(f"unknown smoother {smoother!r}")
+        if coarse not in ("cg", "condensed"):
+            raise ValueError(f"unknown coarse solve {coarse!r}")
+        if smoother == "condensed":
+            low = [lvl.order for lvl in levels[:-1] if lvl.order < 2]
+            if low:
+                raise ValueError(
+                    "condensed smoothing needs every smoothed level at order "
+                    f">= 2, got orders {low}; build the hierarchy with "
+                    "min_order=2"
+                )
+        if coarse == "condensed" and levels[-1].order < 2:
+            raise ValueError(
+                "condensed coarse solve needs the coarsest order >= 2; build "
+                "the hierarchy with min_order=2"
+            )
         self.levels = levels
         self.n_smooth = int(n_smooth)
         self.omega = float(omega)
         self.coarse_iters = int(coarse_iters)
+        self.smoother = smoother
+        self.coarse = coarse
+        self.cheb_degree = int(cheb_degree)
+        self._cheb: dict = {}
+        self._condensed_sm: dict = {}
+        self._coarse_solver = None
 
     # ----------------------------------------------------------- transfers
     def _prolong(self, i_coarse: int, u_c: np.ndarray) -> np.ndarray:
@@ -179,32 +305,112 @@ class PMultigrid:
         return lvl_c.system.mask.apply(out)
 
     # ------------------------------------------------------------- smoother
+    def _chebyshev_for(self, i: int, example: np.ndarray) -> ChebyshevSmoother:
+        sm = self._cheb.get(i)
+        if sm is None:
+            lvl = self.levels[i]
+
+            def matvec_p(v: np.ndarray, lvl=lvl) -> np.ndarray:
+                add_flops(float(v.size), "pointwise")
+                return lvl.inv_diagonal * lvl.system.matvec(v)
+
+            _, lam_hi = estimate_extreme_eigenvalues(
+                matvec_p, example, dot=lvl.system.dot, n_iter=15
+            )
+            sm = ChebyshevSmoother(
+                matvec_p, lam_hi / 30.0, 1.1 * lam_hi, degree=self.cheb_degree
+            )
+            self._cheb[i] = sm
+        return sm
+
+    def _condensed_for(self, i: int) -> _CondensedSmoother:
+        sm = self._condensed_sm.get(i)
+        if sm is None:
+            sm = _CondensedSmoother(self.levels[i])
+            self._condensed_sm[i] = sm
+        return sm
+
     def _smooth(self, i: int, x: np.ndarray, b: np.ndarray, sweeps: int) -> np.ndarray:
         lvl = self.levels[i]
+        if self.smoother == "chebyshev":
+            sm = self._chebyshev_for(i, b)
+            for _ in range(sweeps):
+                x = sm.apply(lvl.inv_diagonal * b, x0=x)
+                add_flops(float(b.size), "pointwise")
+            return x
+        if self.smoother == "condensed":
+            sm = self._condensed_for(i)
+            cheb = self._cheb.get(("cond", i))
+            if cheb is None:
+                # Chebyshev-accelerate the Schwarz sweep (the NekRS smoother
+                # shape): the raw additive correction has lam_max(M A) well
+                # above 2, so a fixed damping either diverges or crawls —
+                # the polynomial wrapper targets the measured interval.
+                def matvec_p(v: np.ndarray, lvl=lvl, sm=sm) -> np.ndarray:
+                    return sm.apply(lvl.system.matvec(v))
+
+                _, lam_hi = estimate_extreme_eigenvalues(
+                    matvec_p, b, dot=lvl.system.dot, n_iter=12
+                )
+                cheb = ChebyshevSmoother(
+                    matvec_p, lam_hi / 30.0, 1.1 * lam_hi, degree=self.cheb_degree
+                )
+                self._cheb[("cond", i)] = cheb
+            with trace("condensed_smooth"):
+                for _ in range(sweeps):
+                    x = cheb.apply(sm.apply(b), x0=x)
+            return x
         for _ in range(sweeps):
             r = b - lvl.system.matvec(x)
             x = x + self.omega * lvl.inv_diagonal * r
             add_flops(4.0 * x.size, "pointwise")
         return x
 
+    # --------------------------------------------------------- coarse solve
+    def _coarse_solve(self, b: np.ndarray) -> np.ndarray:
+        lvl = self.levels[-1]
+        if self.coarse == "condensed":
+            if self._coarse_solver is None:
+                from .condensed import CondensedPoissonSolver
+
+                self._coarse_solver = CondensedPoissonSolver(
+                    lvl.system.mesh,
+                    h1=lvl.h1,
+                    h0=lvl.h0,
+                    dirichlet_sides=lvl.dirichlet_sides,
+                )
+            # The restricted residual is assembled (dssum-consistent), the
+            # condensed solver consumes a local load with dssum(f) = b.
+            f_local = b * lvl.system.assembler._inv_mult
+            add_flops(float(b.size), "pointwise")
+            res = self._coarse_solver.solve(
+                f_local,
+                tol=0.0,
+                rtol=1e-8,
+                maxiter=self.coarse_iters,
+                label="pmg_coarse",
+            )
+            return lvl.system.mask.apply(res.u)
+        from .cg import pcg
+
+        res = pcg(
+            lvl.system.matvec,
+            b,
+            dot=lvl.system.dot,
+            precond=lambda r: lvl.inv_diagonal * r,
+            tol=0.0,
+            rtol=1e-8,
+            maxiter=self.coarse_iters,
+            label="pmg_coarse",
+        )
+        return res.x
+
     # -------------------------------------------------------------- V-cycle
     def _vcycle(self, i: int, b: np.ndarray) -> np.ndarray:
         lvl = self.levels[i]
         with trace(f"p{lvl.order}"):
             if i == len(self.levels) - 1:
-                from .cg import pcg
-
-                res = pcg(
-                    lvl.system.matvec,
-                    b,
-                    dot=lvl.system.dot,
-                    precond=lambda r: lvl.inv_diagonal * r,
-                    tol=0.0,
-                    rtol=1e-8,
-                    maxiter=self.coarse_iters,
-                    label="pmg_coarse",
-                )
-                return res.x
+                return self._coarse_solve(b)
             x = self._smooth(i, np.zeros_like(b), b, self.n_smooth)
             r = b - lvl.system.matvec(x)
             r_c = self._restrict(i + 1, r)

@@ -56,6 +56,7 @@ __all__ = [
     "DenseInteriorSolver",
     "TensorInteriorSolver",
     "ElementCondensation",
+    "TensorElementCondensation",
 ]
 
 
@@ -272,7 +273,32 @@ class TensorInteriorSolver:
         return out
 
 
-class ElementCondensation:
+class _SplitMaps:
+    """Shared boundary/interior gather-scatter maps of a condensation.
+
+    Subclasses define ``K``, ``shape``, ``b_idx``, ``i_idx`` (the
+    :func:`shell_split` of their block) and get the three index maps every
+    consumer uses.
+    """
+
+    def boundary_of(self, field: np.ndarray) -> np.ndarray:
+        """Gather the shell values of a local block field -> ``(K, n_b)``."""
+        return field.reshape(self.K, -1)[:, self.b_idx]
+
+    def interior_of(self, field: np.ndarray) -> np.ndarray:
+        """Gather the interior values of a local block field -> ``(K, n_i)``."""
+        return field.reshape(self.K, -1)[:, self.i_idx]
+
+    def merge(self, u_b: np.ndarray, u_i: np.ndarray) -> np.ndarray:
+        """Scatter shell + interior data back into a full local block field."""
+        full = np.empty((self.K,) + self.shape)
+        flat = full.reshape(self.K, -1)
+        flat[:, self.b_idx] = u_b
+        flat[:, self.i_idx] = u_i
+        return full
+
+
+class ElementCondensation(_SplitMaps):
     """Schur condensation of dense per-element matrices.
 
     Splits ``(K, n_loc, n_loc)`` element matrices by :func:`shell_split`,
@@ -315,27 +341,14 @@ class ElementCondensation:
         s = a_bb - a_bi @ y
         self.schur = np.ascontiguousarray(0.5 * (s + s.transpose(0, 2, 1)))
 
-    # ------------------------------------------------------------- split maps
-    def boundary_of(self, field: np.ndarray) -> np.ndarray:
-        """Gather the shell values of a local block field -> ``(K, n_b)``."""
-        return field.reshape(self.K, -1)[:, self.b_idx]
-
-    def interior_of(self, field: np.ndarray) -> np.ndarray:
-        """Gather the interior values of a local block field -> ``(K, n_i)``."""
-        return field.reshape(self.K, -1)[:, self.i_idx]
-
-    def merge(self, u_b: np.ndarray, u_i: np.ndarray) -> np.ndarray:
-        """Scatter shell + interior data back into a full local block field."""
-        full = np.empty((self.K,) + self.shape)
-        flat = full.reshape(self.K, -1)
-        flat[:, self.b_idx] = u_b
-        flat[:, self.i_idx] = u_i
-        return full
-
     # ------------------------------------------------------------ condensation
     def apply_schur(self, v_b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-element condensed apply ``S^k v_b^k`` (batched, dispatched)."""
         return _dispatch.batched_matvec(self.schur, v_b, out=out)
+
+    def schur_diagonal(self) -> np.ndarray:
+        """``diag(S^k)`` as ``(K, n_b)`` — the interface Jacobi seed."""
+        return np.ascontiguousarray(np.einsum("kii->ki", self.schur))
 
     def condense_rhs(self, f_b: np.ndarray, f_i: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Condensed RHS ``g = f_B - A_BI A_II^{-1} f_I`` (local, unassembled).
@@ -352,5 +365,260 @@ class ElementCondensation:
     def back_substitute(self, u_b: np.ndarray, f_i: np.ndarray) -> np.ndarray:
         """Interior recovery ``u_I = A_II^{-1} (f_I - A_IB u_B)``."""
         t = f_i - _dispatch.batched_matvec(self.a_ib, u_b)
+        add_flops(float(t.size), "pointwise")
+        return self.interior.solve_flat(t)
+
+
+class TensorElementCondensation(_SplitMaps):
+    """Tensor-factorized 3-D Schur applies on rectilinear elements.
+
+    The dense 3-D Schur complement lives on the ``O(N^2)`` boundary shell,
+    so its per-element apply costs ``O(N^4) = O(N^{2d-2})`` — *worse* than
+    the ``O(N^{d+1})`` standard apply it is meant to replace.  Huismann,
+    Stiller & Froehlich's factorization restores linear cost by never
+    forming ``S``: with diagonal 1-D mass matrices (GLL collocation), the
+    separable element operator
+
+        A = sum_a coef_a (rho (x) rho) (x)_a A_hat  +  c0 rho (x) rho (x) rho
+
+    couples the shell to the interior only along axis lines, through the
+    *endpoint columns* ``A_hat[1:-1, [0, -1]]``.  The three pieces of
+    ``S v_B = A_BB v_B - A_BI A_II^{-1} A_IB v_B`` then factorize:
+
+    * ``A_BB``: per direction, full 1-D stiffness lines where the line lies
+      entirely in the shell (tangential-boundary lines), a rank-2 endpoint
+      block on face-interior lines, and the diagonal mass term.
+    * ``A_IB``: scaled endpoint columns lifted into the shared interior
+      eigenbasis (``jhat = S^T A_hat[1:-1, [0,-1]]``), summed over the
+      three directions.
+    * ``A_II^{-1}``: the fast-diagonalization scale of
+      :class:`TensorInteriorSolver`, already in that eigenbasis — the
+      forward/backward tangential transforms fuse with the lift.
+
+    Every contraction routes through the sanitized dispatch boundary
+    (:func:`~repro.backends.dispatch.apply_1d` /
+    :func:`~repro.backends.dispatch.apply_tensor`), so exact flop tallies
+    come for free: the apply totals ``O(N^3) = O(N^d)`` per element, and
+    the counters pin it (see ``tests/test_tensor_schur.py``).
+
+    Matches :class:`ElementCondensation` built from the dense probe of the
+    same rectilinear Helmholtz operator to roundoff; deformed elements keep
+    the dense fallback.
+    """
+
+    def __init__(
+        self,
+        hs: np.ndarray,
+        order: int,
+        h1: float = 1.0,
+        h0: float = 0.0,
+    ):
+        hs = np.asarray(hs, dtype=float)
+        if hs.ndim != 2 or hs.shape[1] != 3:
+            raise ValueError(f"expected (K, 3) element extents, got {hs.shape}")
+        if order < 2:
+            raise ValueError("tensor-factorized condensation needs order >= 2")
+        K = hs.shape[0]
+        M = order + 1  # points per direction of the full block
+        m = order - 1  # interior points per direction
+        self.K, self.M, self.m = K, M, m
+        self.shape = (M, M, M)
+        b_idx, i_idx = shell_split(self.shape)
+        self.b_idx, self.i_idx = b_idx, i_idx
+        self.n_b, self.n_i = b_idx.size, i_idx.size
+        self.interior = TensorInteriorSolver(hs, order, h1=h1, h0=h0)
+
+        # Reference 1-D pieces.  mass_matrix_1d is diagonal (GLL collocation)
+        # — the structural fact the whole factorization rests on.
+        ahat = np.ascontiguousarray(stiffness_matrix_1d(order))
+        rho = np.ascontiguousarray(np.diag(mass_matrix_1d(order)))
+        self.ahat, self.rho = ahat, rho
+        self.jcols = np.ascontiguousarray(ahat[1:-1, [0, M - 1]])  # (m, 2)
+        self.jcols_t = np.ascontiguousarray(self.jcols.T)  # (2, m)
+        self.jhat = np.ascontiguousarray(self.interior.st @ self.jcols)  # (m, 2)
+        self.jhat_t = np.ascontiguousarray(self.jhat.T)  # (2, m)
+        self.end_op = np.ascontiguousarray(ahat[[0, M - 1]][:, [0, M - 1]])  # (2, 2)
+
+        # Per-element separable coefficients (same convention as the
+        # interior denominator): coef_a = h1 jac (2/h_a)^2, c0 = h0 jac.
+        half = 0.5 * hs
+        jac = np.prod(half, axis=1)  # (K,)
+        self.coef = np.ascontiguousarray(
+            h1 * jac[None, :] * (2.0 / hs.T) ** 2
+        )  # (3, K)
+        self.c0 = h0 * jac  # (K,)
+
+        # Tangential (M, M) split of a direction's cross-section: lines whose
+        # tangential index is on the 2-D shell lie entirely in the boundary
+        # shell; interior tangential indices are face-interior lines with
+        # exactly two shell endpoints.
+        tb_idx, ti_idx = shell_split((M, M))
+        tb0, tb1 = np.unravel_index(tb_idx, (M, M))
+        ti0, ti1 = np.unravel_index(ti_idx, (M, M))
+        self.tb0, self.tb1 = tb0, tb1
+        self.ti0c = ti0[:, None]  # (m^2, 1) — broadcast against the face axis
+        self.ti1c = ti1[:, None]
+        self.endc = np.array([0, M - 1])
+        wt = np.outer(rho, rho).ravel()
+        self.wt_tb = np.ascontiguousarray(wt[tb_idx])  # (4M-4,)
+        self.wt_ti = np.ascontiguousarray(wt[ti_idx])  # (m^2,)
+        # Per-direction pointwise scales, hoisted out of the apply.
+        self._sc_tb = np.ascontiguousarray(
+            self.coef[:, :, None] * self.wt_tb[None, None, :]
+        )  # (3, K, 4M-4)
+        self._sc_ti = np.ascontiguousarray(
+            self.coef[:, :, None] * self.wt_ti[None, None, :]
+        )  # (3, K, m^2)
+        rho3 = np.einsum("i,j,k->ijk", rho, rho, rho).ravel()
+        self._mass_b = np.ascontiguousarray(self.c0[:, None] * rho3[b_idx][None, :])
+
+        # Face-interior shell positions: face_b_pos[a][f] maps the C-ordered
+        # m^2 face-interior points of face (a, f) to positions in the shell
+        # vector, in the same tangential order as ``ti_idx`` seen through the
+        # direction-a moveaxis layout used by the apply.
+        pos_in_b = np.full(M**3, -1)
+        pos_in_b[b_idx] = np.arange(self.n_b)
+        idx3 = np.arange(M**3).reshape(M, M, M)
+        self.face_b_pos = []
+        for a in range(3):
+            idxp = np.moveaxis(idx3, 2 - a, 2)  # direction a's spatial axis last
+            faces = []
+            for pos in (0, M - 1):
+                flat = np.ascontiguousarray(idxp[1:-1, 1:-1, pos]).ravel()
+                faces.append(np.ascontiguousarray(pos_in_b[flat]))
+            self.face_b_pos.append(faces)
+        self._ws = Workspace()
+
+    # -------------------------------------------------------------- the apply
+    def apply_schur(self, v_b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Factorized per-element ``S^k v_b^k`` in ``O(N^3)`` per element."""
+        K, M, m = self.K, self.M, self.m
+        ws = self._ws
+        st, s = self.interior.st, self.interior.s
+        V = ws.get("tsc_v", (K, M, M, M))
+        O = ws.get("tsc_o", (K, M, M, M))
+        Vf = V.reshape(K, -1)
+        Of = O.reshape(K, -1)
+        # Only shell entries of V are ever read and only shell entries of O
+        # are ever written, so neither buffer needs zeroing.
+        Vf[:, self.b_idx] = v_b
+        Of[:, self.b_idx] = self._mass_b * v_b  # mass term initializes the shell
+        add_flops(float(v_b.size), "pointwise")
+        ghat = ws.zeros("tsc_ghat", (K, m, m, m))
+        for a in range(3):
+            ax = 3 - a  # direction a's axis of a (K, ...) field
+            Vp = np.moveaxis(V, ax, 3)
+            Op = np.moveaxis(O, ax, 3)
+            # (i) A_BB, tangential-boundary lines: full 1-D stiffness.
+            slab = np.ascontiguousarray(Vp[:, self.tb0, self.tb1, :])  # (K, L, M)
+            line = _dispatch.apply_1d(self.ahat, slab, 0)
+            Op[:, self.tb0, self.tb1, :] += self._sc_tb[a][:, :, None] * line
+            add_flops(2.0 * line.size, "pointwise")
+            # (ii) A_BB, face-interior lines: rank-2 endpoint block.
+            E = Vp[:, self.ti0c, self.ti1c, self.endc]  # (K, m^2, 2)
+            endt = _dispatch.apply_1d(self.end_op, E, 0)
+            sc = self._sc_ti[a]  # (K, m^2)
+            Op[:, self.ti0c, self.ti1c, self.endc] += sc[:, :, None] * endt
+            add_flops(2.0 * endt.size, "pointwise")
+            # (iii) A_IB into the shared interior eigenbasis (reuses E):
+            # scaled endpoint data, tangential S^T transforms, then the
+            # endpoint columns jhat along direction a.
+            w = (sc[:, :, None] * E).reshape(K, m, m, 2)
+            add_flops(float(w.size), "pointwise")
+            what = _dispatch.apply_tensor((None, st, st), w)
+            ga = _dispatch.apply_1d(self.jhat, what, 0)  # (K, m, m, m)
+            ghat += np.moveaxis(ga, 3, ax)
+            add_flops(float(ga.size), "pointwise")
+        # (iv) Interior inverse: pointwise fast-diagonalization scale.
+        zhat = ghat * self.interior.inv_den
+        add_flops(float(zhat.size), "pointwise")
+        # (v) A_BI fused with the backward transforms, subtracted per face.
+        for a in range(3):
+            ax = 3 - a
+            Op = np.moveaxis(O, ax, 3)
+            zp = np.ascontiguousarray(np.moveaxis(zhat, ax, 3))
+            c = _dispatch.apply_1d(self.jhat_t, zp, 0)  # (K, m, m, 2)
+            cb = _dispatch.apply_tensor((None, s, s), c)
+            sc = self._sc_ti[a]
+            Op[:, self.ti0c, self.ti1c, self.endc] -= sc[:, :, None] * cb.reshape(
+                K, m * m, 2
+            )
+            add_flops(2.0 * cb.size, "pointwise")
+        res = Of[:, self.b_idx]
+        if out is not None:
+            out[...] = res
+            return out
+        return res
+
+    def schur_diagonal(self) -> np.ndarray:
+        """``diag(S^k)`` as ``(K, n_b)`` without ever forming ``S`` (setup-only)."""
+        K, M, m = self.K, self.M, self.m
+        rho = self.rho
+        # A_BB diagonal: separable stiffness diagonals plus the mass term.
+        d1 = np.diag(self.ahat) / rho  # (M,)
+        full = np.empty((K, M, M, M))
+        full[...] = self.c0[:, None, None, None]
+        for a in range(3):
+            shp = [1, 1, 1, 1]
+            shp[3 - a] = M
+            full += self.coef[a][:, None, None, None] * d1.reshape(shp)
+        full *= np.einsum("i,j,k->ijk", rho, rho, rho)[None]
+        diag = np.ascontiguousarray(full.reshape(K, -1)[:, self.b_idx])
+        # Schur correction — nonzero only at face-interior points:
+        # (A_BI A_II^{-1} A_IB)_{pp} = (coef_a rho_j rho_k)^2
+        #     sum_{abg} jhat[a,f]^2 s[j,b]^2 s[k,g]^2 / den_{abg}.
+        zsq = self.interior.s**2  # (m, m): [nodal, mode]
+        for a in range(3):
+            invp = np.moveaxis(self.interior.inv_den, 3 - a, 3)  # a-modes last
+            for fi in range(2):
+                wf = np.einsum("ebga,a->ebg", invp, self.jhat[:, fi] ** 2)
+                corr = np.einsum("jb,kg,ebg->ejk", zsq, zsq, wf)
+                diag[:, self.face_b_pos[a][fi]] -= self._sc_ti[a] ** 2 * corr.reshape(
+                    K, m * m
+                )
+        return diag
+
+    # ------------------------------------------- thin A_IB / A_BI (setup paths)
+    def _lift_boundary(self, v_b: np.ndarray) -> np.ndarray:
+        """``A_IB v_B`` as flat interior data ``(K, n_i)`` (back-substitution)."""
+        K, m = self.K, self.m
+        acc = np.zeros((K, m, m, m))
+        for a in range(3):
+            E = np.stack(
+                [v_b[:, self.face_b_pos[a][0]], v_b[:, self.face_b_pos[a][1]]],
+                axis=2,
+            )  # (K, m^2, 2)
+            w = self._sc_ti[a][:, :, None] * E
+            add_flops(float(w.size), "pointwise")
+            g = _dispatch.apply_1d(self.jcols, w, 0)  # (K, m^2, m)
+            acc += np.moveaxis(g.reshape(K, m, m, m), 3, 3 - a)
+            add_flops(float(g.size), "pointwise")
+        return acc.reshape(K, self.n_i)
+
+    def _project_interior(self, u_i: np.ndarray) -> np.ndarray:
+        """``A_BI u_I`` as shell data ``(K, n_b)`` (RHS condensation)."""
+        K, m = self.K, self.m
+        out = np.zeros((K, self.n_b))
+        u = u_i.reshape(K, m, m, m)
+        for a in range(3):
+            up = np.ascontiguousarray(np.moveaxis(u, 3 - a, 3))
+            cf = _dispatch.apply_1d(self.jcols_t, up, 0).reshape(K, m * m, 2)
+            sc = self._sc_ti[a]
+            for fi in range(2):
+                out[:, self.face_b_pos[a][fi]] += sc * cf[:, :, fi]
+            add_flops(2.0 * cf.size, "pointwise")
+        return out
+
+    # ------------------------------------------------------------ condensation
+    def condense_rhs(self, f_b: np.ndarray, f_i: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Condensed RHS ``g = f_B - A_BI A_II^{-1} f_I`` (local, unassembled)."""
+        u_ip = self.interior.solve_flat(f_i)
+        g_b = f_b - self._project_interior(u_ip)
+        add_flops(float(g_b.size), "pointwise")
+        return g_b, u_ip
+
+    def back_substitute(self, u_b: np.ndarray, f_i: np.ndarray) -> np.ndarray:
+        """Interior recovery ``u_I = A_II^{-1} (f_I - A_IB u_B)``."""
+        t = f_i - self._lift_boundary(u_b)
         add_flops(float(t.size), "pointwise")
         return self.interior.solve_flat(t)

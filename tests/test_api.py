@@ -37,6 +37,8 @@ class TestSolverConfig:
         assert c.helmholtz_tol == 1e-10
         assert c.velocity_tol == 1e-11
         assert c.projection_window == 20
+        assert c.pmg_smoother == "jacobi"
+        assert c.pmg_coarse == "cg"
 
     def test_frozen(self):
         with pytest.raises(Exception):
@@ -177,6 +179,28 @@ class TestFacades:
         a = table2_case(level=0, order=3, cache=cache)
         b = table2_case(level=0, order=3, cache=cache)
         assert a.mesh is b.mesh and a.pop is b.pop
+
+    def test_pmg_preconditioner_routes_config_and_caches(self):
+        from repro.api import pmg_preconditioner
+        from repro.core.mesh import box_mesh_2d
+        from repro.service import FactorCache
+
+        mesh = box_mesh_2d(2, 2, 8)
+        cfg = SolverConfig(pmg_smoother="condensed", pmg_coarse="condensed")
+        cache = FactorCache()
+        pmg, levels = pmg_preconditioner(mesh, config=cfg, cache=cache)
+        # The condensed tier floors the schedule so the coarsest level
+        # keeps interior dofs.
+        assert [l.order for l in levels] == [8, 4, 2]
+        assert pmg.smoother == "condensed" and pmg.coarse == "condensed"
+        again, _ = pmg_preconditioner(mesh, config=cfg, cache=cache)
+        assert again is pmg
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        # A different tier selection is a different cache entry.
+        other, olevels = pmg_preconditioner(mesh, config=SolverConfig(),
+                                            cache=cache)
+        assert other is not pmg
+        assert [l.order for l in olevels] == [8, 4, 2, 1]
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,24 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "FDM" in out and "A0=0" in out
 
+    def test_pmg_condensed_tier(self, capsys):
+        assert main([
+            "pmg", "--dim", "2", "--elements", "3", "--order", "8",
+            "--smoother", "condensed", "--coarse", "condensed",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "condensed" in out and "converged" in out
+        assert "iterations" in out
+
+    def test_pmg_default_jacobi_3d(self, capsys):
+        assert main(["pmg", "--order", "4", "--elements", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jacobi" in out
+
+    def test_pmg_rejects_unknown_smoother(self):
+        with pytest.raises(SystemExit):
+            main(["pmg", "--smoother", "bogus"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])

@@ -364,6 +364,57 @@ class TestPersistentTable:
         d.apply_1d(np.eye(4), u, 0)
         assert not dispatch.tuning_cache_path().exists()
 
+    def test_concurrent_saves_keep_file_valid(self, tmp_path, monkeypatch):
+        """Racing writers must never corrupt the table on disk: each save
+        goes through its own mkstemp file and an atomic replace, so a
+        concurrent reader sees one writer's complete document or another's
+        — never an interleaving — and no temp files survive."""
+        import threading
+
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path))
+        path = dispatch.tuning_cache_path()
+        dispatchers = []
+        for seed in range(4):
+            d = backends.AutoTuneDispatcher()
+            u = np.random.default_rng(seed).standard_normal((3, 5, 5))
+            d.apply_1d(np.eye(5), u, 0)  # seed choices + first save
+            dispatchers.append(d)
+
+        stop = threading.Event()
+        bad: list = []
+
+        def writer(d):
+            while not stop.is_set():
+                with d._tune_lock:
+                    d._save_locked()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    doc = json.loads(path.read_text())
+                except ValueError as exc:  # torn write — the bug under test
+                    bad.append(repr(exc))
+                    return
+                if doc.get("version") != 1:
+                    bad.append(f"bad doc: {doc!r}")
+                    return
+
+        threads = [threading.Thread(target=writer, args=(d,))
+                   for d in dispatchers]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not bad, bad
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1 and dispatch._table_key() in doc["tables"]
+        assert not list(tmp_path.glob("*.tmp")), "leaked temp files"
+
     def test_tuning_stats_shape(self):
         stats = dispatch.tuning_stats()
         assert set(stats) == {

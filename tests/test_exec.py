@@ -78,6 +78,26 @@ def prog_hang_on_one(comm):
     return comm.rank
 
 
+def prog_shm_exchange(comm, n):
+    mine = np.full(n, float(comm.rank + 1))
+    return float(comm.exchange(comm.rank ^ 1, mine).sum())
+
+
+def prog_shm_in_flight(comm, n):
+    # Rank 0 ships a segment whose receiver never attaches; both ranks then
+    # hang so the driver's timeout path has to reclaim the segment.
+    if comm.rank == 0:
+        from repro.parallel.exec.mp import _send_payload
+
+        _send_payload(comm.peers[1], np.arange(n, dtype=float), comm._shm_namer)
+    time.sleep(60.0)
+
+
+def prog_shm_prefix_probe(comm):
+    namer = comm._shm_namer
+    return None if namer is None else (namer.prefix, namer.rank)
+
+
 def prog_stats(comm):
     comm.compute(1e6, 0.5)
     comm.allreduce(1.0)
@@ -263,6 +283,71 @@ class TestMpSubstrate:
         )
         assert run.wall_seconds > 0
         assert run.modeled_seconds > 0
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="needs a /dev/shm filesystem to observe segments")
+class TestShmLifecycle:
+    """Run-prefixed shared-memory names + the cleanup sweep: no segment a
+    run creates may outlive it, even when workers are terminated with a
+    payload in flight."""
+
+    def _survivors(self, prefix):
+        return [n for n in os.listdir("/dev/shm") if n.startswith(prefix)]
+
+    def test_send_payload_uses_prefixed_names(self):
+        from multiprocessing import Pipe, shared_memory
+
+        from repro.parallel.exec.mp import _ShmNamer, _send_payload
+
+        a, b = Pipe()
+        payload = np.arange(SHM_THRESHOLD // 8 + 10, dtype=float)
+        _send_payload(a, payload, _ShmNamer("repro-test-unit-", 3))
+        kind, name, shape, dtype = b.recv()
+        assert kind == "shm" and name == "repro-test-unit-r3c1"
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            got = np.frombuffer(shm.buf, dtype=dtype).copy()
+        finally:
+            shm.close()
+            shm.unlink()
+        assert np.array_equal(got, payload)
+
+    def test_workers_receive_the_run_prefix(self):
+        from repro.parallel.exec.mp import run_mp
+
+        prefix = f"repro-test-{os.getpid()}-probe-"
+        results, _, _, _ = run_mp(
+            prog_shm_prefix_probe, [()] * 2, 2, LOCALHOST_MP,
+            timeout=60.0, shm_prefix=prefix,
+        )
+        assert results == [(prefix, 0), (prefix, 1)]
+
+    def test_normal_run_leaves_no_segments(self):
+        from repro.parallel.exec.mp import run_mp
+
+        n = SHM_THRESHOLD // 8 + 500  # above threshold: rides shared memory
+        prefix = f"repro-test-{os.getpid()}-ok-"
+        results, _, _, _ = run_mp(
+            prog_shm_exchange, [(n,)] * 2, 2, LOCALHOST_MP,
+            timeout=60.0, shm_prefix=prefix,
+        )
+        assert results == [2.0 * n, 1.0 * n]
+        assert self._survivors(prefix) == []
+
+    def test_timeout_sweep_reclaims_in_flight_segments(self):
+        from repro.parallel.exec.mp import run_mp
+
+        n = SHM_THRESHOLD // 8 + 500
+        prefix = f"repro-test-{os.getpid()}-leak-"
+        with pytest.raises(SPMDTimeoutError):
+            run_mp(
+                prog_shm_in_flight, [(n,)] * 2, 2, LOCALHOST_MP,
+                timeout=1.5, shm_prefix=prefix,
+            )
+        # The in-flight segment existed when the timeout hit; the cleanup
+        # sweep must have unlinked it along with the workers.
+        assert self._survivors(prefix) == []
 
 
 class TestReportSection:

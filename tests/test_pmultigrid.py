@@ -3,16 +3,18 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.element import geometric_factors
 from repro.core.mesh import box_mesh_2d, box_mesh_3d, map_mesh
 from repro.core.operators import MassOperator
+from repro.obs.telemetry import telemetry
 from repro.solvers.cg import pcg
 from repro.solvers.jacobi import JacobiPreconditioner
 from repro.solvers.pmultigrid import PMultigrid, build_p_hierarchy
 
 
-def make_problem(mesh, h1=1.0, h0=0.0):
-    levels = build_p_hierarchy(mesh, h1=h1, h0=h0)
+def make_problem(mesh, h1=1.0, h0=0.0, min_order=1):
+    levels = build_p_hierarchy(mesh, h1=h1, h0=h0, min_order=min_order)
     geom = geometric_factors(mesh)
     mass = MassOperator(geom)
     f = mesh.eval_function(
@@ -136,3 +138,96 @@ class TestVCycle:
                                tol=1e-9 * system.norm(b), maxiter=3000).iterations)
         assert its_mg[-1] <= its_mg[0] + 6
         assert its_jac[-1] > 2 * its_mg[-1]
+
+
+class TestSmootherTiers:
+    """The condensed local-solve tier next to Jacobi/Chebyshev: smoother
+    and coarsest-level roles, selection validation, and the obs-report
+    accounting of the new trace regions."""
+
+    @staticmethod
+    def _run(mesh, smoother="jacobi", coarse="cg", min_order=1, label=None):
+        levels, b = make_problem(mesh, min_order=min_order)
+        system = levels[0].system
+        mg = PMultigrid(levels, smoother=smoother, coarse=coarse)
+        res = pcg(system.matvec, b, dot=system.dot, precond=mg,
+                  tol=0.0, rtol=1e-8, maxiter=200, label=label)
+        return res, levels
+
+    def test_min_order_floors_schedule(self):
+        m = box_mesh_2d(2, 2, 8)
+        assert [l.order for l in build_p_hierarchy(m, min_order=2)] == [8, 4, 2]
+        with pytest.raises(ValueError):
+            build_p_hierarchy(m, min_order=0)
+
+    def test_chebyshev_smoother_beats_jacobi(self):
+        m = box_mesh_2d(3, 3, 8)
+        r_jac, _ = self._run(m, smoother="jacobi")
+        r_cheb, _ = self._run(m, smoother="chebyshev")
+        assert r_jac.converged and r_cheb.converged
+        assert r_cheb.iterations < r_jac.iterations
+
+    def test_condensed_smoother_beats_jacobi_2d(self):
+        m = box_mesh_2d(3, 3, 8)
+        r_jac, _ = self._run(m, smoother="jacobi")
+        r_cond, _ = self._run(m, smoother="condensed", coarse="condensed",
+                              min_order=2)
+        assert r_cond.converged
+        assert r_cond.iterations < r_jac.iterations
+        assert r_cond.iterations <= 8
+
+    def test_condensed_coarse_matches_cg_coarse(self):
+        m = box_mesh_2d(3, 3, 8)
+        r_cg, _ = self._run(m, min_order=2)
+        r_cond, _ = self._run(m, coarse="condensed", min_order=2)
+        assert r_cg.converged and r_cond.converged
+        assert abs(r_cond.iterations - r_cg.iterations) <= 2
+        scale = max(float(np.max(np.abs(r_cg.x))), 1e-30)
+        assert np.max(np.abs(r_cond.x - r_cg.x)) < 1e-6 * scale
+
+    def test_condensed_3d_obs_report(self):
+        """Acceptance shape: the condensed-tier p-MG run lands its
+        iteration count in telemetry and its per-region flops in the
+        validated obs report."""
+        m = box_mesh_3d(2, 2, 2, 6)
+        r_jac, _ = self._run(m, smoother="jacobi", label="pmg_outer_jac")
+        obs.enable()  # after the baseline: regions cover the condensed run only
+        r_cond, _ = self._run(m, smoother="condensed", coarse="condensed",
+                              min_order=2, label="pmg_outer_cond")
+        assert r_cond.converged
+        assert r_cond.iterations <= 8
+        assert r_cond.iterations < r_jac.iterations
+        assert [s.iterations for s in telemetry.solves_for("pmg_outer_cond")] \
+            == [r_cond.iterations]
+
+        # Fine-level condensed smoothing: twice per V-cycle (pre + post),
+        # with flops tallied through the sanitized dispatch boundary.
+        smooth = obs.find_region("pmg/p6/condensed_smooth")
+        cycles = obs.find_region("pmg").calls
+        assert smooth is not None
+        assert cycles >= r_cond.iterations
+        assert smooth.calls == 2 * cycles
+        assert smooth.total_flops() > 0
+        coarse = obs.find_region("pmg/p6/p3/p2/condensed_solve")
+        assert coarse is not None and coarse.calls == cycles
+
+        doc = obs.report_json(meta={"workload": "pmg"})
+        obs.validate_report(doc)
+        (pmg_node,) = [c for c in doc["regions"]["children"]
+                       if c["name"] == "pmg"]
+        fine = pmg_node["children"][0]
+        (smooth_doc,) = [c for c in fine["children"]
+                         if c["name"] == "condensed_smooth"]
+        assert smooth_doc["total_flops"] > 0
+
+    def test_selection_validated(self):
+        m = box_mesh_2d(2, 2, 8)
+        levels, _ = make_problem(m)
+        with pytest.raises(ValueError, match="smoother"):
+            PMultigrid(levels, smoother="bogus")
+        with pytest.raises(ValueError, match="coarse"):
+            PMultigrid(levels, coarse="bogus")
+        # Default schedule bottoms out at order 1: no interior dofs to
+        # condense, and the error says how to fix it.
+        with pytest.raises(ValueError, match="min_order=2"):
+            PMultigrid(levels, coarse="condensed")

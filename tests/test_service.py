@@ -103,6 +103,51 @@ class TestFactorCache:
         assert all(r is results[0] for r in results)
         assert cache.stats.misses == 1 and cache.stats.hits == 3
 
+    def test_raising_builder_releases_build_lock(self):
+        """A failed build must not leave its per-key lock resident — a
+        long-running service with failing runs would grow ``_building``
+        without bound, and a later successful build must proceed."""
+        cache = FactorCache()
+
+        def broken():
+            raise RuntimeError("synthetic build failure")
+
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="synthetic"):
+                cache.get("k", broken)
+            assert cache._building == {}
+        # The key is still buildable once the builder stops failing.
+        assert np.array_equal(cache.get("k", lambda: np.arange(3)),
+                              np.arange(3))
+        assert "k" in cache
+
+    def test_raising_builder_does_not_wedge_waiters(self):
+        """Threads queued behind a failing build retry instead of
+        inheriting the failure or deadlocking on a leaked lock."""
+        cache = FactorCache()
+        gate = threading.Barrier(3)
+        outcomes = [None] * 3
+
+        def builder():
+            time.sleep(0.02)
+            raise ValueError("flaky setup")
+
+        def worker(i):
+            gate.wait()
+            try:
+                outcomes[i] = cache.get("shared", builder)
+            except ValueError:
+                outcomes[i] = "raised"
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes == ["raised"] * 3
+        assert cache._building == {}
+        assert cache.get("shared", lambda: 42) == 42
+
     def test_as_dict_shape(self):
         d = FactorCache().as_dict()
         assert set(d) == {"hits", "misses", "evictions", "hit_rate",
